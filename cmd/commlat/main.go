@@ -1,0 +1,383 @@
+// Command commlat regenerates the tables and figures of "Exploiting the
+// Commutativity Lattice" (PLDI 2011) and prints the synthesized
+// abstract-locking artifacts.
+//
+// Usage:
+//
+//	commlat table1  [-rmfa N -rmfb N -mesh N -points N -parts N -seed S]
+//	commlat table2  [-ops N -classes K -threads T -seed S]
+//	commlat fig10   [-threads list -rmfa N -rmfb N -parts N -seed S]
+//	commlat fig11   [-threads list -points N -seed S]
+//	commlat fig12   [-threads list -mesh N -seed S]
+//	commlat matrices [-spec accumulator|set|flowgraph]
+//	commlat model   [-app Preflow-push|Boruvka|Clustering -procs list ...]
+//	commlat specs
+//
+// Paper-scale inputs are a matter of flags (e.g. -points 500000
+// -mesh 1000 -ops 1000000); defaults finish in seconds on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"commlat/internal/abslock"
+	"commlat/internal/adaptive"
+	"commlat/internal/adt/accum"
+	"commlat/internal/adt/flowgraph"
+	"commlat/internal/adt/intset"
+	"commlat/internal/adt/kdtree"
+	"commlat/internal/adt/unionfind"
+	"commlat/internal/bench"
+	"commlat/internal/core"
+	"commlat/internal/spectext"
+	"commlat/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "fig10", "fig11", "fig12":
+		err = cmdFig(cmd, args)
+	case "matrices":
+		err = cmdMatrices(args)
+	case "model":
+		err = cmdModel(args)
+	case "specs":
+		err = cmdSpecs(args)
+	case "strengthen":
+		err = cmdStrengthen(args)
+	case "adaptive":
+		err = cmdAdaptive(args)
+	case "check":
+		err = cmdCheck(args)
+	case "all":
+		err = cmdAll(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "commlat: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commlat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `commlat — reproduce "Exploiting the Commutativity Lattice" (PLDI 2011)
+
+commands:
+  table1    critical path / parallelism / overhead per app and variant
+  table2    set microbenchmark abort ratios and times
+  fig10     preflow-push run time vs threads (ml, ex, part)
+  fig11     clustering run time vs threads (kd-gk vs kd-ml)
+  fig12     Boruvka run time vs threads (uf-gk vs uf-ml)
+  matrices  synthesized lock modes and compatibility matrices (fig. 8)
+  model     the §5 T·o/min(a,p) scheme-selection model on measured data
+  specs     print every commutativity specification and its class
+  strengthen  derive the strongest SIMPLE spec below a given one (§4.1)
+  adaptive  run the §5 future-work adaptive scheme selector on the set
+  check     parse a textual specification file, classify and synthesize it
+  all       run every quick experiment (tables, matrices, model, adaptive)
+
+run "commlat <command> -h" for flags.`)
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread list %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	cfg := bench.DefaultTable1()
+	fs.IntVar(&cfg.RMFa, "rmfa", cfg.RMFa, "GENRMF frame side")
+	fs.IntVar(&cfg.RMFb, "rmfb", cfg.RMFb, "GENRMF frame count")
+	fs.IntVar(&cfg.MeshN, "mesh", cfg.MeshN, "Boruvka mesh side (paper: 1000)")
+	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points (paper: 100000)")
+	fs.IntVar(&cfg.Parts, "parts", cfg.Parts, "preflow partitions (paper: 32)")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := bench.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable1(rows))
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	cfg := bench.DefaultTable2()
+	fs.IntVar(&cfg.Ops, "ops", cfg.Ops, "operations (paper: 1000000)")
+	fs.IntVar(&cfg.Classes, "classes", cfg.Classes, "equivalence classes (paper: 10)")
+	fs.IntVar(&cfg.Threads, "threads", cfg.Threads, "overlap window / threads (paper: 4)")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "stream seed")
+	fs.BoolVar(&cfg.Extended, "ext", false, "add extension rows (liberal locks, object STM)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := bench.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable2(rows))
+	return nil
+}
+
+func cmdFig(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	cfg := bench.DefaultFig()
+	threads := fs.String("threads", "1,2,4,8", "comma-separated thread counts")
+	fs.IntVar(&cfg.RMFa, "rmfa", cfg.RMFa, "GENRMF frame side")
+	fs.IntVar(&cfg.RMFb, "rmfb", cfg.RMFb, "GENRMF frame count")
+	fs.IntVar(&cfg.Parts, "parts", cfg.Parts, "preflow partitions")
+	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points (paper: 500000)")
+	fs.IntVar(&cfg.MeshN, "mesh", cfg.MeshN, "Boruvka mesh side (paper: 1000)")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var err error
+	cfg.Threads, err = parseThreads(*threads)
+	if err != nil {
+		return err
+	}
+	var fig bench.Figure
+	switch name {
+	case "fig10":
+		fig, err = bench.Fig10(cfg)
+	case "fig11":
+		fig, err = bench.Fig11(cfg)
+	default:
+		fig, err = bench.Fig12(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.String())
+	return nil
+}
+
+func cmdMatrices(args []string) error {
+	fs := flag.NewFlagSet("matrices", flag.ExitOnError)
+	which := fs.String("spec", "accumulator", "accumulator | set | flowgraph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := map[string][]*core.Spec{
+		"accumulator": {accum.Spec()},
+		"set":         {intset.RWSpec(), intset.ExclusiveSpec(), intset.BottomSpec()},
+		"flowgraph":   {flowgraph.RWSpec(), flowgraph.ExclusiveSpec()},
+	}
+	list, ok := specs[*which]
+	if !ok {
+		return fmt.Errorf("unknown spec %q", *which)
+	}
+	for _, spec := range list {
+		fmt.Printf("=== %s (%s)\n%s\n", spec.Sig.Name, spec.Classify(), spec)
+		scheme, err := abslock.Synthesize(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("full compatibility matrix (figure 8a):")
+		fmt.Println(scheme.MatrixString())
+		fmt.Println("reduced compatibility matrix (figure 8b):")
+		fmt.Println(scheme.Reduce().MatrixString())
+	}
+	return nil
+}
+
+func cmdModel(args []string) error {
+	fs := flag.NewFlagSet("model", flag.ExitOnError)
+	app := fs.String("app", "Preflow-push", "Preflow-push | Boruvka | Clustering")
+	procs := fs.String("procs", "1,2,4,8,64,1024", "processor counts")
+	cfg := bench.DefaultTable1()
+	fs.IntVar(&cfg.RMFa, "rmfa", cfg.RMFa, "GENRMF frame side")
+	fs.IntVar(&cfg.RMFb, "rmfb", cfg.RMFb, "GENRMF frame count")
+	fs.IntVar(&cfg.MeshN, "mesh", cfg.MeshN, "Boruvka mesh side")
+	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ps, err := parseThreads(*procs)
+	if err != nil {
+		return err
+	}
+	rows, err := bench.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	entries := bench.ModelFromTable1(rows, *app)
+	if len(entries) == 0 {
+		return fmt.Errorf("no Table 1 rows for app %q", *app)
+	}
+	fmt.Print(bench.FormatModel(entries, ps))
+	return nil
+}
+
+func cmdSpecs(args []string) error {
+	all := []*core.Spec{
+		intset.PreciseSpec(), intset.RWSpec(), intset.ExclusiveSpec(),
+		intset.PartitionedSpec(), intset.BottomSpec(),
+		kdtree.Spec(), unionfind.Spec(),
+		flowgraph.RWSpec(), flowgraph.ExclusiveSpec(), flowgraph.PartitionedSpec(),
+		accum.Spec(),
+	}
+	for _, s := range all {
+		fmt.Printf("— %s [%s]\n%s\n", s.Sig.Name, s.Classify(), s)
+	}
+	return nil
+}
+
+func cmdStrengthen(args []string) error {
+	fs := flag.NewFlagSet("strengthen", flag.ExitOnError)
+	which := fs.String("spec", "set", "set | kdtree | unionfind")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec *core.Spec
+	switch *which {
+	case "set":
+		spec = intset.PreciseSpec()
+	case "kdtree":
+		spec = kdtree.Spec()
+	case "unionfind":
+		spec = unionfind.Spec()
+	default:
+		return fmt.Errorf("unknown spec %q", *which)
+	}
+	fmt.Printf("original (%s):\n%s\n", spec.Classify(), spec)
+	simple := core.StrengthenToSimple(spec)
+	fmt.Printf("strongest SIMPLE specification below it (§4.1):\n%s\n", simple)
+	fmt.Println("ordering check: strengthened ≤ original:", simple.LE(spec))
+	scheme, err := abslock.Synthesize(simple)
+	if err != nil {
+		return err
+	}
+	fmt.Println("synthesized reduced lock matrix:")
+	fmt.Println(scheme.Reduce().MatrixString())
+	return nil
+}
+
+func cmdAdaptive(args []string) error {
+	fs := flag.NewFlagSet("adaptive", flag.ExitOnError)
+	ops := fs.Int("ops", 60000, "operations")
+	classes := fs.Int("classes", 10, "equivalence classes")
+	epoch := fs.Int("epoch", 5000, "epoch size")
+	window := fs.Int("window", 4, "overlap window (threads)")
+	seed := fs.Int64("seed", 1, "stream seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ladder := adaptive.DefaultLadder()
+	stream := workload.SetOpsClasses(*ops, *classes, *seed)
+	trace, err := adaptive.Run(ladder, stream, *epoch, *window, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %10s %12s\n", "epoch", "rung", "abort %", "ops/s")
+	for i, s := range trace.Samples {
+		fmt.Printf("%-8d %-12s %10.2f %12.0f\n", i, ladder[s.Rung].Name, s.AbortRatio*100, s.Throughput)
+	}
+	fmt.Printf("switches: %d; final set size: %d\n", trace.Switches, len(trace.Final.Snapshot()))
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	file := fs.String("file", "", "specification file (see internal/spectext); - for stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("usage: commlat check -file <spec.txt>")
+	}
+	var src []byte
+	var err error
+	if *file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		return err
+	}
+	spec, err := spectext.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %s: %d methods, class %s\n\n", spec.Sig.Name, len(spec.Sig.Methods), spec.Classify())
+	fmt.Print(spectext.Format(spec))
+	fmt.Println()
+	switch spec.Classify() {
+	case core.ClassSimple:
+		scheme, err := abslock.Synthesize(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("SIMPLE: synthesized abstract locking scheme (reduced):")
+		fmt.Println(scheme.Reduce().MatrixString())
+	case core.ClassOnline:
+		fmt.Println("ONLINE-CHECKABLE: implementable by a forward gatekeeper (§3.3.1).")
+		if scheme, err := abslock.SynthesizeLiberal(spec); err == nil {
+			fmt.Println("...and GUARDED-SIMPLE: liberal locking (footnote 6) also applies:")
+			fmt.Println(scheme.Reduce().MatrixString())
+		}
+	default:
+		fmt.Println("GENERAL: requires a general gatekeeper (§3.3.2).")
+	}
+	simple := core.StrengthenToSimple(spec)
+	if spec.Classify() != core.ClassSimple {
+		fmt.Println("\nstrongest SIMPLE specification below it (§4.1):")
+		fmt.Print(spectext.Format(simple))
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	steps := []struct {
+		title string
+		run   func([]string) error
+	}{
+		{"figure 8 — synthesized matrices", cmdMatrices},
+		{"table 1 — path / parallelism / overhead", cmdTable1},
+		{"table 2 — set microbenchmark", cmdTable2},
+		{"§5 model — scheme selection (preflow-push)", cmdModel},
+		{"§4.1 — strengthening figure 2 to figure 3", cmdStrengthen},
+		{"§5 future work — adaptive selection", cmdAdaptive},
+	}
+	for _, st := range steps {
+		fmt.Printf("\n════ %s ════\n", st.title)
+		if err := st.run(nil); err != nil {
+			return fmt.Errorf("%s: %w", st.title, err)
+		}
+	}
+	return nil
+}

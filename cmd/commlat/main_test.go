@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseThreads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "a", "1,,2", "-3"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Errorf("parseThreads(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCmdMatricesAllSpecs(t *testing.T) {
+	for _, which := range []string{"accumulator", "set", "flowgraph"} {
+		if err := cmdMatrices([]string{"-spec", which}); err != nil {
+			t.Errorf("matrices %s: %v", which, err)
+		}
+	}
+	if err := cmdMatrices([]string{"-spec", "nope"}); err == nil {
+		t.Error("unknown spec should fail")
+	}
+}
+
+func TestCmdSpecsAndStrengthen(t *testing.T) {
+	if err := cmdSpecs(nil); err != nil {
+		t.Errorf("specs: %v", err)
+	}
+	for _, which := range []string{"set", "kdtree", "unionfind"} {
+		if err := cmdStrengthen([]string{"-spec", which}); err != nil {
+			t.Errorf("strengthen %s: %v", which, err)
+		}
+	}
+	if err := cmdStrengthen([]string{"-spec", "nope"}); err == nil {
+		t.Error("unknown spec should fail")
+	}
+}
+
+func TestCmdCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.spec")
+	src := `
+adt reg
+method put(k) ret
+method get(k) ret
+put ~ put: v1.k != v2.k
+put ~ get: v1.k != v2.k
+get ~ get: true
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-file", path}); err != nil {
+		t.Errorf("check: %v", err)
+	}
+	if err := cmdCheck([]string{"-file", filepath.Join(dir, "missing.spec")}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := cmdCheck(nil); err == nil {
+		t.Error("missing -file should fail")
+	}
+}
+
+func TestCmdCheckShippedSpecs(t *testing.T) {
+	// The example spec files must stay parseable.
+	for _, name := range []string{"set.spec", "kv.spec", "unionfind.spec"} {
+		path := filepath.Join("..", "..", "examples", "specs", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("missing example spec %s: %v", name, err)
+		}
+		if err := cmdCheck([]string{"-file", path}); err != nil {
+			t.Errorf("check %s: %v", name, err)
+		}
+	}
+}
+
+func TestCmdTable2Small(t *testing.T) {
+	if err := cmdTable2([]string{"-ops", "2000", "-ext"}); err != nil {
+		t.Errorf("table2: %v", err)
+	}
+}
+
+func TestCmdAdaptiveSmall(t *testing.T) {
+	if err := cmdAdaptive([]string{"-ops", "4000", "-epoch", "1000"}); err != nil {
+		t.Errorf("adaptive: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+// Adaptive: the future-work system sketched at the end of the paper's
+// §5 — "an automated system to adaptively and dynamically select from
+// these implementations as run-time needs change, given observations of
+// parallelism and overhead." The controller hill-climbs the set's
+// detector ladder (global lock → exclusive locks → r/w locks → forward
+// gatekeeper), migrating the abstract state between implementations at
+// epoch boundaries, and settles on the rung with the best observed
+// throughput for the workload at hand.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"commlat/internal/adaptive"
+	"commlat/internal/workload"
+)
+
+func main() {
+	ops := flag.Int("ops", 80000, "operations")
+	classes := flag.Int("classes", 10, "equivalence classes (contention knob)")
+	epoch := flag.Int("epoch", 5000, "operations per epoch")
+	window := flag.Int("window", 4, "overlap window (live transactions)")
+	seed := flag.Int64("seed", 1, "stream seed")
+	flag.Parse()
+
+	ladder := adaptive.DefaultLadder()
+	stream := workload.SetOpsClasses(*ops, *classes, *seed)
+	fmt.Printf("adaptive selection over %d ops, %d classes, window %d\n", *ops, *classes, *window)
+
+	trace, err := adaptive.Run(ladder, stream, *epoch, *window, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-7s %-12s %9s %12s\n", "epoch", "rung", "abort %", "ops/s")
+	for i, s := range trace.Samples {
+		fmt.Printf("%-7d %-12s %9.2f %12.0f\n", i, ladder[s.Rung].Name, s.AbortRatio*100, s.Throughput)
+	}
+	last := trace.Samples[len(trace.Samples)-1]
+	fmt.Printf("\nsettled on %q after %d switches; final set has %d elements\n",
+		ladder[last.Rung].Name, trace.Switches, len(trace.Final.Snapshot()))
+}

@@ -1,0 +1,3 @@
+module commlat
+
+go 1.22

@@ -1,0 +1,133 @@
+package abslock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"commlat/internal/core"
+)
+
+// randSimpleSpec generates a random ADT signature and a random SIMPLE
+// specification over it: each pair condition is true, false, or a
+// conjunction of 1–3 random slot disequalities.
+func randSimpleSpec(r *rand.Rand) *core.Spec {
+	nm := 2 + r.Intn(3)
+	sig := &core.ADTSig{Name: "fuzz"}
+	for i := 0; i < nm; i++ {
+		ms := core.MethodSig{Name: fmt.Sprintf("m%d", i), HasRet: r.Intn(2) == 0}
+		for p := 0; p < 1+r.Intn(2); p++ {
+			ms.Params = append(ms.Params, fmt.Sprintf("p%d", p))
+		}
+		sig.Methods = append(sig.Methods, ms)
+	}
+	spec := core.NewSpec(sig)
+	slotTerms := func(m core.MethodSig, side core.Side) []core.Term {
+		var out []core.Term
+		for i := range m.Params {
+			out = append(out, core.ArgTerm{Side: side, Index: i})
+		}
+		if m.HasRet {
+			out = append(out, core.RetTerm{Side: side})
+		}
+		return out
+	}
+	for i, m1 := range sig.Methods {
+		for _, m2 := range sig.Methods[i:] {
+			switch r.Intn(3) {
+			case 0:
+				spec.Set(m1.Name, m2.Name, core.True())
+			case 1:
+				spec.Set(m1.Name, m2.Name, core.False())
+			default:
+				s1 := slotTerms(m1, core.First)
+				s2 := slotTerms(m2, core.Second)
+				var conj []core.Cond
+				for k := 0; k < 1+r.Intn(3); k++ {
+					conj = append(conj, core.Ne(s1[r.Intn(len(s1))], s2[r.Intn(len(s2))]))
+				}
+				spec.Set(m1.Name, m2.Name, core.And(conj...))
+			}
+		}
+	}
+	return spec
+}
+
+// randInvocation draws a random invocation of a random method with small
+// integer arguments/returns (collision-heavy to stress incompatibility).
+func randInvocation(r *rand.Rand, sig *core.ADTSig) core.Invocation {
+	m := sig.Methods[r.Intn(len(sig.Methods))]
+	args := make([]core.Value, len(m.Params))
+	for i := range args {
+		args[i] = int64(r.Intn(3))
+	}
+	var ret core.Value
+	if m.HasRet {
+		ret = int64(r.Intn(3))
+	}
+	return core.NewInvocation(m.Name, args, ret)
+}
+
+// TestTheorem1Fuzz is the randomized counterpart of the hand-written
+// Theorem 1 tests: for hundreds of random SIMPLE specifications, the
+// synthesized scheme (full and reduced) must allow a pair of invocations
+// exactly when the specification's condition evaluates true.
+func TestTheorem1Fuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		spec := randSimpleSpec(r)
+		full, err := Synthesize(spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, spec)
+		}
+		for _, scheme := range []*Scheme{full, full.Reduce()} {
+			for pair := 0; pair < 30; pair++ {
+				inv1 := randInvocation(r, spec.Sig)
+				inv2 := randInvocation(r, spec.Sig)
+				// Locks are direction-blind: the scheme implements the
+				// symmetrized meet of the two directed conditions (see
+				// Synthesize), so the oracle checks both orientations.
+				fwd, err := core.Eval(spec.Cond(inv1.Method, inv2.Method),
+					&core.PairEnv{Inv1: inv1, Inv2: inv2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rev, err := core.Eval(spec.Cond(inv2.Method, inv1.Method),
+					&core.PairEnv{Inv1: inv2, Inv2: inv1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fwd && rev
+				got := schemeAllows(t, scheme, nil, inv1, inv2)
+				if got != want {
+					t.Fatalf("trial %d: allows(%v, %v) = %v, spec says %v\n%s",
+						trial, inv1, inv2, got, want, spec)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceNeverChangesSemantics: for random SIMPLE specs, the reduced
+// scheme must agree with the full scheme on every invocation pair.
+func TestReduceNeverChangesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(4096))
+	for trial := 0; trial < 200; trial++ {
+		spec := randSimpleSpec(r)
+		full, err := Synthesize(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red := full.Reduce()
+		if len(red.Modes) > len(full.Modes) {
+			t.Fatal("reduction grew the scheme")
+		}
+		for pair := 0; pair < 20; pair++ {
+			inv1 := randInvocation(r, spec.Sig)
+			inv2 := randInvocation(r, spec.Sig)
+			if schemeAllows(t, full, nil, inv1, inv2) != schemeAllows(t, red, nil, inv1, inv2) {
+				t.Fatalf("trial %d: reduction changed the decision for (%v, %v)", trial, inv1, inv2)
+			}
+		}
+	}
+}

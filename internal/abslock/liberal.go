@@ -1,0 +1,181 @@
+package abslock
+
+import (
+	"fmt"
+
+	"commlat/internal/core"
+)
+
+// SynthesizeLiberal constructs the "more liberal abstract locking
+// scheme" the paper's §3.2 footnote sketches and leaves to future work:
+// simple predicates over an invocation's own arguments and return value
+// are evaluated to choose the lock mode. It accepts GUARDED-SIMPLE
+// conditions
+//
+//	D ∨ (P1 ∧ P2)
+//
+// (D a conjunction of slot disequalities, Pi side-local predicates; see
+// core.AsGuardedSimple). For every disequality conjunct x ≠ y of a pair
+// (m1, m2), both sides get a *pair-tagged* weak/strong mode pair: an
+// invocation acquires the weak mode when its own guard holds and the
+// strong mode otherwise, and only weak~weak is compatible. Two
+// invocations sharing the datum therefore proceed exactly when P1 ∧ P2,
+// and invocations on different data never interact — the condition
+// D ∨ (P1 ∧ P2), implemented soundly AND completely by locks even though
+// it is not SIMPLE (it lies strictly above the SIMPLE sub-lattice).
+//
+// The precise set specification of figure 2 has this shape with
+// Pi = "ri = false": under liberal locking, non-mutating adds of the
+// same element run concurrently — the behaviour Table 2 credits to the
+// gatekeeper, now at lock cost.
+//
+// Guards that inspect the return value schedule their acquisitions after
+// execution; a conflict then rolls the invocation back through the
+// transaction's undo log, exactly like a TargetRet acquisition.
+//
+// Directed condition overrides are not supported (locks are
+// direction-blind); the pair's stored condition must be the mechanical
+// swap of its mirror.
+func SynthesizeLiberal(spec *core.Spec) (*Scheme, error) {
+	s := &Scheme{ADT: spec.Sig.Name, Acquire: map[string][]Acquisition{}}
+	modeIdx := map[Mode]int{}
+	addMode := func(m Mode) int {
+		if i, ok := modeIdx[m]; ok {
+			return i
+		}
+		i := len(s.Modes)
+		s.Modes = append(s.Modes, m)
+		modeIdx[m] = i
+		return i
+	}
+	var incompat [][2]int
+	mark := func(i, j int) { incompat = append(incompat, [2]int{i, j}) }
+
+	// ds modes exist for false conditions.
+	dsMode := map[string]int{}
+	for _, ms := range spec.Sig.Methods {
+		dsMode[ms.Name] = addMode(Mode{Method: ms.Name, Slot: "ds"})
+		s.Acquire[ms.Name] = append(s.Acquire[ms.Name], Acquisition{Mode: dsMode[ms.Name], Target: TargetDS})
+	}
+
+	slotName := func(method string, slot core.SlotRef) (string, error) {
+		ms, _ := spec.Sig.Method(method)
+		if slot.IsRet {
+			if !ms.HasRet {
+				return "", fmt.Errorf("abslock: %s has no return value", method)
+			}
+			return "ret", nil
+		}
+		if slot.Arg >= len(ms.Params) {
+			return "", fmt.Errorf("abslock: %s has no argument %d", method, slot.Arg)
+		}
+		return ms.Params[slot.Arg], nil
+	}
+
+	for _, p := range spec.Pairs() {
+		m1, m2 := p[0], p[1]
+		cond := spec.Cond(m1, m2)
+		if m1 != m2 && !core.CondEqual(spec.Cond(m2, m1), core.SwapSides(cond)) {
+			return nil, fmt.Errorf("abslock: (%s,%s) has a directed override; liberal locking is direction-blind", m1, m2)
+		}
+		form, ok := core.AsGuardedSimple(cond)
+		if !ok {
+			return nil, fmt.Errorf("abslock: condition for (%s,%s) is not GUARDED-SIMPLE: %s", m1, m2, cond)
+		}
+		switch form.Kind {
+		case core.SimpleTrue:
+			continue
+		case core.SimpleFalse:
+			mark(dsMode[m1], dsMode[m2])
+			continue
+		}
+		_, p1False := form.P1.(core.FalseCond)
+		_, p2False := form.P2.(core.FalseCond)
+		plain := p1False && p2False
+		for k, cj := range form.Conjuncts {
+			n1, err := slotName(m1, cj.X)
+			if err != nil {
+				return nil, err
+			}
+			n2, err := slotName(m2, cj.Y)
+			if err != nil {
+				return nil, err
+			}
+			if cj.Key != "" {
+				return nil, fmt.Errorf("abslock: keyed conjuncts are not supported by liberal synthesis (partition the spec first)")
+			}
+			tag := fmt.Sprintf("%s~%s#%d", m1, m2, k)
+			if plain {
+				// No weak path: one strong (unconditional) mode per side.
+				i := addMode(Mode{Method: m1, Slot: n1, Key: tag})
+				j := addMode(Mode{Method: m2, Slot: n2, Key: tag})
+				mark(i, j)
+				s.Acquire[m1] = appendAcq(s.Acquire[m1], Acquisition{Mode: i, Target: targetOf(cj.X), Arg: cj.X.Arg})
+				if m1 != m2 || cj.X != cj.Y {
+					s.Acquire[m2] = appendAcq(s.Acquire[m2], Acquisition{Mode: j, Target: targetOf(cj.Y), Arg: cj.Y.Arg})
+				}
+				continue
+			}
+			sW := addMode(Mode{Method: m1, Slot: n1, Key: tag + ":w"})
+			sS := addMode(Mode{Method: m1, Slot: n1, Key: tag + ":s"})
+			tW := addMode(Mode{Method: m2, Slot: n2, Key: tag + ":w"})
+			tS := addMode(Mode{Method: m2, Slot: n2, Key: tag + ":s"})
+			// Only weak~weak across the two sides is compatible.
+			mark(sS, tW)
+			mark(sS, tS)
+			mark(sW, tS)
+
+			g1 := core.Simplify(form.P1)
+			g2 := core.Simplify(core.ToFirstSide(form.P2))
+			if m1 == m2 && sW == tW && !core.CondEqual(g1, g2) {
+				// A direction-blind lock cannot tell which invocation
+				// plays which role in an asymmetric self-pair guard;
+				// symmetrize to the (sound) conjunction.
+				g1 = core.Simplify(core.And(g1, g2))
+				g2 = g1
+			}
+			a1 := Acquisition{
+				Mode: sS, WeakMode: sW, Guard: g1,
+				Target: targetOf(cj.X), Arg: cj.X.Arg,
+				After: cj.X.IsRet || core.MentionsRet(g1, core.First),
+			}
+			a2 := Acquisition{
+				Mode: tS, WeakMode: tW, Guard: g2,
+				Target: targetOf(cj.Y), Arg: cj.Y.Arg,
+				After: cj.Y.IsRet || core.MentionsRet(g2, core.First),
+			}
+			s.Acquire[m1] = appendAcq(s.Acquire[m1], a1)
+			if m1 != m2 || sW != tW || sS != tS {
+				s.Acquire[m2] = appendAcq(s.Acquire[m2], a2)
+			}
+		}
+	}
+
+	s.Incompat = make([][]bool, len(s.Modes))
+	for i := range s.Incompat {
+		s.Incompat[i] = make([]bool, len(s.Modes))
+	}
+	for _, ij := range incompat {
+		s.Incompat[ij[0]][ij[1]] = true
+		s.Incompat[ij[1]][ij[0]] = true
+	}
+	return s, nil
+}
+
+func targetOf(slot core.SlotRef) Target {
+	if slot.IsRet {
+		return TargetRet
+	}
+	return TargetArg
+}
+
+// appendAcq deduplicates identical acquisitions (self-pairs with X == Y
+// generate the same acquisition from both sides).
+func appendAcq(list []Acquisition, a Acquisition) []Acquisition {
+	for _, b := range list {
+		if b.Mode == a.Mode && b.WeakMode == a.WeakMode && b.Target == a.Target && b.Arg == a.Arg {
+			return list
+		}
+	}
+	return append(list, a)
+}

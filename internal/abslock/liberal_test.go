@@ -1,0 +1,174 @@
+package abslock
+
+import (
+	"math/rand"
+	"testing"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+// preciseSetSpec is figure 2 — GUARDED-SIMPLE with Pi = "ri = false".
+func preciseSetSpec() *core.Spec {
+	neOrBothFalse := core.Or(core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.And(core.Eq(core.Ret1(), core.Lit(false)), core.Eq(core.Ret2(), core.Lit(false))))
+	neOrR1False := core.Or(core.Ne(core.Arg1(0), core.Arg2(0)), core.Eq(core.Ret1(), core.Lit(false)))
+	s := core.NewSpec(setSig())
+	s.Set("add", "add", neOrBothFalse)
+	s.Set("add", "remove", neOrBothFalse)
+	s.Set("add", "contains", neOrR1False)
+	s.Set("remove", "remove", neOrBothFalse)
+	s.Set("remove", "contains", neOrR1False)
+	s.Set("contains", "contains", core.True())
+	return s
+}
+
+func TestGuardedFormRecognition(t *testing.T) {
+	spec := preciseSetSpec()
+	form, ok := core.AsGuardedSimple(spec.Cond("add", "add"))
+	if !ok {
+		t.Fatal("figure 2's add~add should be GUARDED-SIMPLE")
+	}
+	if len(form.Conjuncts) != 1 {
+		t.Fatalf("conjuncts = %+v", form.Conjuncts)
+	}
+	if !core.CondEqual(form.P1, core.Eq(core.Ret1(), core.Lit(false))) {
+		t.Errorf("P1 = %s", form.P1)
+	}
+	if !core.CondEqual(form.P2, core.Eq(core.Ret2(), core.Lit(false))) {
+		t.Errorf("P2 = %s", form.P2)
+	}
+	// add~contains: P2 is empty (true).
+	form, ok = core.AsGuardedSimple(spec.Cond("add", "contains"))
+	if !ok {
+		t.Fatal("add~contains should be GUARDED-SIMPLE")
+	}
+	if _, isTrue := form.P2.(core.TrueCond); !isTrue {
+		t.Errorf("P2 = %s, want true", form.P2)
+	}
+	// Conditions with state functions are not.
+	if _, ok := core.AsGuardedSimple(core.Or(core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.Eq(core.Fn1("f", core.Arg1(0)), core.Lit(0)))); ok {
+		t.Error("state functions must disqualify")
+	}
+	// Cross-side residue conjuncts are not side-local.
+	if _, ok := core.AsGuardedSimple(core.Or(core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.Eq(core.Ret1(), core.Ret2()))); ok {
+		t.Error("cross-side residue must disqualify")
+	}
+}
+
+// TestLiberalImplementsFigure2 is the footnote-6 result: liberal locking
+// allows a pair of invocations exactly when the PRECISE specification
+// says they commute (something Theorem 1 proves plain locks cannot do).
+func TestLiberalImplementsFigure2(t *testing.T) {
+	spec := preciseSetSpec()
+	scheme, err := SynthesizeLiberal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []string{"add", "remove", "contains"}
+	rets := []core.Value{true, false}
+	for _, sch := range []*Scheme{scheme, scheme.Reduce()} {
+		for _, m1 := range methods {
+			for _, m2 := range methods {
+				for v1 := int64(0); v1 < 2; v1++ {
+					for v2 := int64(0); v2 < 2; v2++ {
+						for _, r1 := range rets {
+							for _, r2 := range rets {
+								inv1 := core.NewInvocation(m1, []core.Value{v1}, r1)
+								inv2 := core.NewInvocation(m2, []core.Value{v2}, r2)
+								want, err := core.Eval(spec.Cond(m1, m2), &core.PairEnv{Inv1: inv1, Inv2: inv2})
+								if err != nil {
+									t.Fatal(err)
+								}
+								got := schemeAllows(t, sch, nil, inv1, inv2)
+								if got != want {
+									t.Fatalf("allows(%v, %v) = %v, precise spec says %v", inv1, inv2, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiberalNonMutatingAddsShare(t *testing.T) {
+	scheme, err := SynthesizeLiberal(preciseSetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(scheme.Reduce(), nil)
+	tx1, tx2, tx3 := engine.NewTx(), engine.NewTx(), engine.NewTx()
+	defer tx1.Abort()
+	defer tx2.Abort()
+	defer tx3.Abort()
+	// Two non-mutating adds of the same element share.
+	if _, err := m.Invoke(tx1, "add", []core.Value{int64(5)}, func() core.Value { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke(tx2, "add", []core.Value{int64(5)}, func() core.Value { return false }); err != nil {
+		t.Fatalf("non-mutating adds should share under liberal locking: %v", err)
+	}
+	// A mutating add of the same element conflicts (after execution, so
+	// the caller must roll back via the tx undo log).
+	ran := false
+	if _, err := m.Invoke(tx3, "add", []core.Value{int64(5)}, func() core.Value { ran = true; return true }); !engine.IsConflict(err) {
+		t.Fatalf("mutating add should conflict, got %v", err)
+	}
+	if !ran {
+		t.Error("guarded conflict must be detected post-execution")
+	}
+}
+
+func TestLiberalPlainSimplePassThrough(t *testing.T) {
+	// A plain SIMPLE spec through SynthesizeLiberal behaves identically
+	// to Synthesize (strong-only modes).
+	spec := rwSetSpec()
+	lib, err := SynthesizeLiberal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		inv1 := randInvocation(r, spec.Sig)
+		inv2 := randInvocation(r, spec.Sig)
+		a := schemeAllows(t, lib.Reduce(), nil, inv1, inv2)
+		b := schemeAllows(t, plain.Reduce(), nil, inv1, inv2)
+		if a != b {
+			t.Fatalf("liberal and plain disagree on (%v, %v): %v vs %v", inv1, inv2, a, b)
+		}
+	}
+}
+
+func TestLiberalRejectsStatefulSpecs(t *testing.T) {
+	sig := &core.ADTSig{Name: "uf", Methods: []core.MethodSig{
+		{Name: "union", Params: []string{"a", "b"}},
+		{Name: "find", Params: []string{"a"}, HasRet: true},
+	}}
+	s := core.NewSpec(sig)
+	s.Set("union", "find", core.Ne(core.Fn1("rep", core.Arg2(0)), core.Fn1("loser", core.Arg1(0), core.Arg1(1))))
+	s.Set("union", "union", core.False())
+	s.Set("find", "find", core.True())
+	if _, err := SynthesizeLiberal(s); err == nil {
+		t.Error("stateful conditions must be rejected")
+	}
+}
+
+func TestLiberalFalseIsGlobal(t *testing.T) {
+	scheme, err := SynthesizeLiberal(core.Bottom(setSig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv1 := core.NewInvocation("add", []core.Value{int64(1)}, true)
+	inv2 := core.NewInvocation("contains", []core.Value{int64(9)}, false)
+	if schemeAllows(t, scheme, nil, inv1, inv2) {
+		t.Error("bottom spec must serialize everything")
+	}
+}

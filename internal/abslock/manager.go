@@ -1,0 +1,261 @@
+package abslock
+
+import (
+	"fmt"
+	"sync"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+// KeyFunc evaluates a pure key function (such as a partition map) used by
+// keyed lock acquisitions.
+type KeyFunc func(core.Value) core.Value
+
+// maxModes bounds a manageable scheme: mode hold-sets and incompatibility
+// rows are 64-bit masks, which comfortably covers every scheme in this
+// repository (reduced schemes have a handful of modes; even full
+// pre-reduction schemes stay well under 64).
+const maxModes = 64
+
+// holder records one transaction's hold on a lock as a bitmask of modes.
+type holder struct {
+	tx    *engine.Tx
+	modes uint64
+}
+
+// dlock is the multi-mode lock of one datum.
+type dlock struct {
+	holders []holder
+}
+
+// Manager enforces a synthesized abstract-locking scheme at run time. It
+// keeps one multi-mode lock per datum (argument or return value seen so
+// far) plus the whole-structure lock, with per-transaction hold masks.
+// Mode compatibility is checked by intersecting the acquired mode's
+// incompatibility mask with other holders' mode masks. Locks are
+// released when the owning transaction commits or aborts (all abstract
+// locks are held to transaction end, per §3.2).
+type Manager struct {
+	scheme   *Scheme
+	keys     map[string]KeyFunc
+	incompat []uint64 // per mode: mask of conflicting modes
+
+	mu   sync.Mutex
+	ds   dlock
+	data map[datumKey]*dlock
+	held map[*engine.Tx][]datumKey // data keys a tx holds, for O(held) release
+}
+
+type datumKey struct {
+	key string // "" for identity, else key-function name (namespaces values)
+	v   core.Value
+}
+
+// NewManager creates a lock manager for scheme. keys must provide an
+// implementation for every key function named by the scheme's
+// acquisitions (nil is fine for purely identity schemes). Schemes with
+// more than 64 modes are rejected; Reduce() keeps real schemes far below
+// that.
+func NewManager(scheme *Scheme, keys map[string]KeyFunc) *Manager {
+	if len(scheme.Modes) > maxModes {
+		panic(fmt.Sprintf("abslock: scheme has %d modes; the manager supports ≤ %d (reduce the scheme or split the ADT)", len(scheme.Modes), maxModes))
+	}
+	m := &Manager{
+		scheme:   scheme,
+		keys:     keys,
+		incompat: make([]uint64, len(scheme.Modes)),
+		data:     map[datumKey]*dlock{},
+		held:     map[*engine.Tx][]datumKey{},
+	}
+	for i := range scheme.Modes {
+		var mask uint64
+		for j := range scheme.Modes {
+			if scheme.Incompat[i][j] {
+				mask |= 1 << uint(j)
+			}
+		}
+		m.incompat[i] = mask
+	}
+	return m
+}
+
+// Scheme returns the scheme the manager enforces.
+func (m *Manager) Scheme() *Scheme { return m.scheme }
+
+// PreAcquire takes the ds-lock and argument locks for an invocation of
+// method with args, in the scheme's modes. On conflict it returns an
+// error satisfying engine.IsConflict and leaves any locks it already took
+// held (they are released when the transaction aborts).
+func (m *Manager) PreAcquire(tx *engine.Tx, method string, args []core.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.scheme.Acquire[method] {
+		a := &m.scheme.Acquire[method][i]
+		if a.After || a.Target == TargetRet {
+			continue
+		}
+		mode, err := m.pickMode(a, method, args, nil)
+		if err != nil {
+			return err
+		}
+		switch a.Target {
+		case TargetDS:
+			if err := m.acquire(tx, &m.ds, mode, nil); err != nil {
+				return err
+			}
+		case TargetArg:
+			if err := m.acquireDatum(tx, a.Key, args[a.Arg], mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PostAcquire takes the post-execution locks: return-value targets plus
+// any guarded acquisitions whose guard inspects the return value. A
+// conflict here means the invocation must be rolled back by the
+// transaction's undo log.
+func (m *Manager) PostAcquire(tx *engine.Tx, method string, args []core.Value, ret core.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.scheme.Acquire[method] {
+		a := &m.scheme.Acquire[method][i]
+		if !a.After && a.Target != TargetRet {
+			continue
+		}
+		mode, err := m.pickMode(a, method, args, ret)
+		if err != nil {
+			return err
+		}
+		switch a.Target {
+		case TargetDS:
+			if err := m.acquire(tx, &m.ds, mode, nil); err != nil {
+				return err
+			}
+		case TargetArg:
+			if err := m.acquireDatum(tx, a.Key, args[a.Arg], mode); err != nil {
+				return err
+			}
+		case TargetRet:
+			if err := m.acquireDatum(tx, a.Key, ret, mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pickMode resolves a (possibly guarded) acquisition's mode against the
+// invoking invocation.
+func (m *Manager) pickMode(a *Acquisition, method string, args []core.Value, ret core.Value) (int, error) {
+	if a.Guard == nil {
+		return a.Mode, nil
+	}
+	ok, err := core.Eval(a.Guard, core.OwnEnv(core.NewInvocation(method, args, ret)))
+	if err != nil {
+		return 0, fmt.Errorf("abslock: evaluating guard for %s: %w", method, err)
+	}
+	if ok {
+		return a.WeakMode, nil
+	}
+	return a.Mode, nil
+}
+
+// Invoke guards a complete method invocation: pre-acquire, execute,
+// post-acquire. exec runs only if the pre-acquisitions succeed.
+func (m *Manager) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() core.Value) (core.Value, error) {
+	if err := m.PreAcquire(tx, method, args); err != nil {
+		return nil, err
+	}
+	ret := exec()
+	if err := m.PostAcquire(tx, method, args, ret); err != nil {
+		return ret, err
+	}
+	return ret, nil
+}
+
+func (m *Manager) acquireDatum(tx *engine.Tx, key string, v core.Value, mode int) error {
+	v = core.Norm(v)
+	if key != "" {
+		f, ok := m.keys[key]
+		if !ok {
+			return fmt.Errorf("abslock: no implementation for key function %q", key)
+		}
+		v = core.Norm(f(v))
+	}
+	dk := datumKey{key, v}
+	l := m.data[dk]
+	if l == nil {
+		l = &dlock{}
+		m.data[dk] = l
+	}
+	return m.acquire(tx, l, mode, &dk)
+}
+
+// acquire must run with m.mu held. dk is nil for the ds lock.
+func (m *Manager) acquire(tx *engine.Tx, l *dlock, mode int, dk *datumKey) error {
+	mask := m.incompat[mode]
+	var own *holder
+	for i := range l.holders {
+		h := &l.holders[i]
+		if h.tx == tx {
+			own = h
+			continue
+		}
+		if h.modes&mask != 0 {
+			return engine.Conflict("abstract lock held in a conflicting mode by tx %d (%s acquiring %s)",
+				h.tx.ID(), m.scheme.ADT, m.scheme.Modes[mode])
+		}
+	}
+	if own != nil {
+		own.modes |= 1 << uint(mode)
+		return nil
+	}
+	l.holders = append(l.holders, holder{tx: tx, modes: 1 << uint(mode)})
+	if _, hooked := m.held[tx]; !hooked {
+		m.held[tx] = nil
+		tx.OnRelease(func() { m.ReleaseAll(tx) })
+	}
+	if dk != nil {
+		m.held[tx] = append(m.held[tx], *dk)
+	}
+	return nil
+}
+
+// ReleaseAll drops every lock the transaction holds. It is installed as a
+// transaction release hook automatically on first acquisition.
+func (m *Manager) ReleaseAll(tx *engine.Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropHolder(&m.ds, tx)
+	for _, dk := range m.held[tx] {
+		if l := m.data[dk]; l != nil {
+			dropHolder(l, tx)
+			if len(l.holders) == 0 {
+				delete(m.data, dk)
+			}
+		}
+	}
+	delete(m.held, tx)
+}
+
+func dropHolder(l *dlock, tx *engine.Tx) {
+	for i := range l.holders {
+		if l.holders[i].tx == tx {
+			last := len(l.holders) - 1
+			l.holders[i] = l.holders[last]
+			l.holders = l.holders[:last]
+			return
+		}
+	}
+}
+
+// HeldLocks reports how many distinct data locks are currently held (for
+// tests and diagnostics).
+func (m *Manager) HeldLocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
+}

@@ -1,0 +1,142 @@
+package accum
+
+import (
+	"fmt"
+	"testing"
+
+	"commlat/internal/abslock"
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+// model validates figure 7 against an executable accumulator.
+type model struct{ sum int64 }
+
+func (m *model) Clone() core.Model { c := *m; return &c }
+
+func (m *model) Apply(method string, args []core.Value) (core.Value, error) {
+	switch method {
+	case "inc":
+		m.sum += core.Norm(args[0]).(int64)
+		return nil, nil
+	case "read":
+		return m.sum, nil
+	default:
+		return nil, core.ErrUnknownFn(method)
+	}
+}
+
+func (m *model) StateKey() string { return fmt.Sprint(m.sum) }
+
+func (m *model) StateFn(fn string, args []core.Value) (core.Value, error) {
+	return nil, core.ErrUnknownFn(fn)
+}
+
+func TestSpecSoundByBruteForce(t *testing.T) {
+	var calls []core.Call
+	for v := int64(0); v < 3; v++ {
+		calls = append(calls, core.Call{Method: "inc", Args: []core.Value{v}})
+	}
+	calls = append(calls, core.Call{Method: "read"})
+	bad, err := core.CheckCondSound(Spec(), []core.Model{&model{}, &model{sum: 5}}, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestSpecIsSimple(t *testing.T) {
+	if got := Spec().Classify(); got != core.ClassSimple {
+		t.Errorf("class = %v", got)
+	}
+}
+
+func TestFigure8Matrices(t *testing.T) {
+	scheme, err := abslock.Synthesize(Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scheme.Modes); got != 4 {
+		t.Errorf("full matrix has %d modes, want 4 (figure 8a)", got)
+	}
+	r := scheme.Reduce()
+	if got := len(r.Modes); got != 2 {
+		t.Errorf("reduced matrix has %d modes, want 2 (figure 8b)", got)
+	}
+}
+
+func TestConcurrentIncrementsShare(t *testing.T) {
+	a := New()
+	tx1, tx2 := engine.NewTx(), engine.NewTx()
+	if err := a.Inc(tx1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Inc(tx2, 3); err != nil {
+		t.Fatalf("concurrent increments must commute: %v", err)
+	}
+	// A read under live increments conflicts.
+	tx3 := engine.NewTx()
+	if _, err := a.Read(tx3); !engine.IsConflict(err) {
+		t.Fatalf("read under increments should conflict, got %v", err)
+	}
+	tx3.Abort()
+	tx1.Commit()
+	tx2.Commit()
+	tx4 := engine.NewTx()
+	if v, err := a.Read(tx4); err != nil || v != 8 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	tx4.Commit()
+}
+
+func TestReadersShareIncBlocked(t *testing.T) {
+	a := New()
+	tx1, tx2 := engine.NewTx(), engine.NewTx()
+	if _, err := a.Read(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(tx2); err != nil {
+		t.Fatalf("concurrent reads must commute: %v", err)
+	}
+	tx3 := engine.NewTx()
+	if err := a.Inc(tx3, 1); !engine.IsConflict(err) {
+		t.Fatalf("inc under readers should conflict, got %v", err)
+	}
+	tx3.Abort()
+	tx1.Abort()
+	tx2.Abort()
+}
+
+func TestAbortUndoesIncrements(t *testing.T) {
+	a := New()
+	tx := engine.NewTx()
+	if err := a.Inc(tx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Inc(tx, 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if a.Total() != 0 {
+		t.Errorf("abort left total %d", a.Total())
+	}
+}
+
+func TestSpeculativeSum(t *testing.T) {
+	a := New()
+	items := make([]int64, 300)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	stats, err := engine.RunItems(items, engine.Options{Workers: 4}, func(tx *engine.Tx, x int64, _ *engine.Worklist[int64]) error {
+		return a.Inc(tx, x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(299 * 300 / 2); a.Total() != want {
+		t.Errorf("total = %d, want %d (stats %+v)", a.Total(), want, stats)
+	}
+}

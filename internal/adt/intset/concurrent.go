@@ -1,0 +1,216 @@
+package intset
+
+import (
+	"sync"
+
+	"commlat/internal/abslock"
+	"commlat/internal/core"
+	"commlat/internal/engine"
+	"commlat/internal/gatekeeper"
+)
+
+// Set is a transactionally guarded set: the interface all conflict
+// detection variants share. Methods return an error satisfying
+// engine.IsConflict when the invocation does not commute with a live
+// transaction; the caller's transaction then aborts and retries.
+type Set interface {
+	Add(tx *engine.Tx, x int64) (bool, error)
+	Remove(tx *engine.Tx, x int64) (bool, error)
+	Contains(tx *engine.Tx, x int64) (bool, error)
+	// Snapshot returns the current elements. Only safe when no
+	// transactions are live.
+	Snapshot() []int64
+}
+
+// LockedSet guards a representation with a synthesized abstract-locking
+// scheme (§3.2). The same type serves every SIMPLE lattice point: global
+// lock (bottom), exclusive, read/write, and partitioned — only the scheme
+// differs.
+type LockedSet struct {
+	mgr *abslock.Manager
+	mu  sync.Mutex // physical atomicity of rep operations
+	rep Rep
+}
+
+// NewLocked synthesizes the abstract locking scheme for spec (which must
+// be SIMPLE, possibly keyed) and guards rep with it. keys supplies
+// implementations for key functions (nil for identity-only specs).
+func NewLocked(rep Rep, spec *core.Spec, keys map[string]abslock.KeyFunc) (*LockedSet, error) {
+	scheme, err := abslock.Synthesize(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &LockedSet{mgr: abslock.NewManager(scheme.Reduce(), keys), rep: rep}, nil
+}
+
+// NewGlobalLock guards rep with the single global lock synthesized from ⊥.
+func NewGlobalLock(rep Rep) *LockedSet {
+	s, err := NewLocked(rep, BottomSpec(), nil)
+	if err != nil {
+		panic(err) // bottom is always SIMPLE
+	}
+	return s
+}
+
+// NewExclusiveLocked guards rep with exclusive per-element locks.
+func NewExclusiveLocked(rep Rep) *LockedSet {
+	s, err := NewLocked(rep, ExclusiveSpec(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewRWLocked guards rep with read/write per-element locks (figure 3).
+func NewRWLocked(rep Rep) *LockedSet {
+	s, err := NewLocked(rep, RWSpec(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewLiberalLocked guards rep with the liberal (guarded-mode) locking
+// scheme synthesized from the PRECISE specification of figure 2 — the
+// footnote-6 extension: non-mutating operations take weak modes, so
+// concurrent non-mutating adds of the same element proceed, with lock
+// overhead instead of gatekeeper logging.
+func NewLiberalLocked(rep Rep) *LockedSet {
+	scheme, err := abslock.SynthesizeLiberal(PreciseSpec())
+	if err != nil {
+		panic(err) // figure 2 is GUARDED-SIMPLE
+	}
+	return &LockedSet{mgr: abslock.NewManager(scheme.Reduce(), nil), rep: rep}
+}
+
+// NewPartitionLocked guards rep with locks on nparts partitions (§4.2).
+func NewPartitionLocked(rep Rep, nparts int) *LockedSet {
+	s, err := NewLocked(rep, PartitionedSpec(), map[string]abslock.KeyFunc{
+		PartitionKey: func(v core.Value) core.Value { return Partition(v.(int64), nparts) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *LockedSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
+	ret, err := s.mgr.Invoke(tx, method, []core.Value{x}, func() core.Value {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch method {
+		case "add":
+			if s.rep.Add(x) {
+				tx.OnUndo(func() {
+					s.mu.Lock()
+					s.rep.Remove(x)
+					s.mu.Unlock()
+				})
+				return true
+			}
+			return false
+		case "remove":
+			if s.rep.Remove(x) {
+				tx.OnUndo(func() {
+					s.mu.Lock()
+					s.rep.Add(x)
+					s.mu.Unlock()
+				})
+				return true
+			}
+			return false
+		default:
+			return s.rep.Contains(x)
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return ret.(bool), nil
+}
+
+// Add inserts x under the lock discipline; it reports whether the set
+// changed.
+func (s *LockedSet) Add(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "add", x) }
+
+// Remove deletes x under the lock discipline.
+func (s *LockedSet) Remove(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "remove", x) }
+
+// Contains queries membership under the lock discipline.
+func (s *LockedSet) Contains(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "contains", x)
+}
+
+// Snapshot returns the elements; only safe with no live transactions.
+func (s *LockedSet) Snapshot() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep.Elems()
+}
+
+// GatekeptSet guards a representation with a forward gatekeeper built
+// from the precise specification of figure 2 (§3.3.1) — the most
+// permissive detector for sets: non-mutating adds/removes and reads of
+// untouched elements all proceed concurrently.
+type GatekeptSet struct {
+	g   *gatekeeper.Forward
+	rep Rep
+}
+
+// NewGatekept builds the forward-gatekept set over rep.
+func NewGatekept(rep Rep) *GatekeptSet {
+	g, err := gatekeeper.NewForward(PreciseSpec(), nil)
+	if err != nil {
+		panic(err) // the precise set spec is ONLINE-CHECKABLE
+	}
+	return &GatekeptSet{g: g, rep: rep}
+}
+
+func (s *GatekeptSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
+	ret, err := s.g.Invoke(tx, method, []core.Value{x}, func() gatekeeper.Effect {
+		switch method {
+		case "add":
+			if s.rep.Add(x) {
+				return gatekeeper.Effect{Ret: true, Undo: func() { s.rep.Remove(x) }}
+			}
+			return gatekeeper.Effect{Ret: false}
+		case "remove":
+			if s.rep.Remove(x) {
+				return gatekeeper.Effect{Ret: true, Undo: func() { s.rep.Add(x) }}
+			}
+			return gatekeeper.Effect{Ret: false}
+		default:
+			return gatekeeper.Effect{Ret: s.rep.Contains(x)}
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return ret.(bool), nil
+}
+
+// Add inserts x under gatekeeping; it reports whether the set changed.
+func (s *GatekeptSet) Add(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "add", x) }
+
+// Remove deletes x under gatekeeping.
+func (s *GatekeptSet) Remove(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "remove", x) }
+
+// Contains queries membership under gatekeeping.
+func (s *GatekeptSet) Contains(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "contains", x)
+}
+
+// GateStats returns the forward gatekeeper's work counters.
+func (s *GatekeptSet) GateStats() gatekeeper.Stats { return s.g.Stats() }
+
+// Snapshot returns the elements; only safe with no live transactions.
+func (s *GatekeptSet) Snapshot() []int64 {
+	var out []int64
+	s.g.Sync(func() { out = s.rep.Elems() })
+	return out
+}
+
+var (
+	_ Set = (*LockedSet)(nil)
+	_ Set = (*GatekeptSet)(nil)
+)

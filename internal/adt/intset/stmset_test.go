@@ -1,0 +1,236 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+
+	"commlat/internal/engine"
+)
+
+// TestFCBelowFStar demonstrates §4.3 behaviourally: the STM set (lattice
+// point FC) admits strictly less concurrency than the precise
+// specification's gatekeeper (F*), and everything it admits the
+// gatekeeper admits too.
+func TestFCBelowFStar(t *testing.T) {
+	seedBoth := func() (*STMSet, *GatekeptSet) {
+		st, gk := NewSTM(64), NewGatekept(NewHashRep())
+		tx := engine.NewTx()
+		if _, err := st.Add(tx, 5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gk.Add(tx, 5); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+		return st, gk
+	}
+
+	// Non-mutating add vs contains on the same element: semantic
+	// commutativity holds (F* allows it); the concrete footprints
+	// overlap read/read — also fine for the STM. Both allow.
+	st, gk := seedBoth()
+	tx1, tx2 := engine.NewTx(), engine.NewTx()
+	if _, err := st.Add(tx1, 5); err != nil {
+		t.Fatalf("stm non-mutating add: %v", err)
+	}
+	if _, err := st.Contains(tx2, 5); err != nil {
+		t.Fatalf("stm read/read should share: %v", err)
+	}
+	tx1.Abort()
+	tx2.Abort()
+
+	// Mutating add vs a contains of a DIFFERENT element in the same
+	// bucket: they commute semantically (F* allows), but the concrete
+	// bucket write collides (FC conflicts).
+	st, gk = seedBoth()
+	tx1, tx2 = engine.NewTx(), engine.NewTx()
+	bucketMate := int64(5 + 64) // same bucket as 5 in a 64-bucket set
+	if _, err := st.Add(tx1, bucketMate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Contains(tx2, 5); !engine.IsConflict(err) {
+		t.Fatalf("stm: bucket collision should conflict, got %v", err)
+	}
+	tx1.Abort()
+	tx2.Abort()
+	tx3, tx4 := engine.NewTx(), engine.NewTx()
+	if _, err := gk.Add(tx3, bucketMate); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := gk.Contains(tx4, 5); err != nil || !c {
+		t.Fatalf("gatekeeper: semantically commuting pair should pass: %v, %v", c, err)
+	}
+	tx3.Abort()
+	tx4.Abort()
+}
+
+func TestSTMSetSequentialSemantics(t *testing.T) {
+	s := NewSTM(16)
+	ref := map[int64]bool{}
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		x := int64(r.Intn(20))
+		tx := engine.NewTx()
+		var got, want bool
+		var err error
+		switch r.Intn(3) {
+		case 0:
+			want = !ref[x]
+			ref[x] = true
+			got, err = s.Add(tx, x)
+		case 1:
+			want = ref[x]
+			delete(ref, x)
+			got, err = s.Remove(tx, x)
+		default:
+			want = ref[x]
+			got, err = s.Contains(tx, x)
+		}
+		if err != nil {
+			t.Fatalf("solo op conflicted: %v", err)
+		}
+		if got != want {
+			t.Fatalf("op returned %v, want %v", got, want)
+		}
+		tx.Commit()
+	}
+	if len(s.Snapshot()) != len(ref) {
+		t.Errorf("snapshot size %d, want %d", len(s.Snapshot()), len(ref))
+	}
+}
+
+func TestSTMSetAbortRollsBack(t *testing.T) {
+	s := NewSTM(8)
+	tx := engine.NewTx()
+	if _, err := s.Add(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(tx, 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if len(s.Snapshot()) != 0 {
+		t.Errorf("abort left %v", s.Snapshot())
+	}
+}
+
+// TestGatekeptSetTwoTxSerializability replays random two-transaction
+// interleavings through the gatekept set; whenever both transactions
+// commit, some serial order must reproduce every recorded return and the
+// final contents (Theorem 2 at the implementation level).
+func TestGatekeptSetTwoTxSerializability(t *testing.T) {
+	type opRec struct {
+		tx     int
+		method int // 0 add, 1 remove, 2 contains
+		x      int64
+		ret    bool
+	}
+	r := rand.New(rand.NewSource(55))
+	bothCommitted := 0
+	for trial := 0; trial < 600; trial++ {
+		s := NewGatekept(NewHashRep())
+		var base []int64
+		for x := int64(0); x < 4; x++ {
+			if r.Intn(2) == 0 {
+				base = append(base, x)
+			}
+		}
+		seed := engine.NewTx()
+		for _, x := range base {
+			if _, err := s.Add(seed, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seed.Commit()
+
+		txs := [2]*engine.Tx{engine.NewTx(), engine.NewTx()}
+		aborted := [2]bool{}
+		var hist []opRec
+		for i := 0; i < 2+r.Intn(5); i++ {
+			w := r.Intn(2)
+			if aborted[w] {
+				continue
+			}
+			rec := opRec{tx: w, method: r.Intn(3), x: int64(r.Intn(4))}
+			var err error
+			switch rec.method {
+			case 0:
+				rec.ret, err = s.Add(txs[w], rec.x)
+			case 1:
+				rec.ret, err = s.Remove(txs[w], rec.x)
+			default:
+				rec.ret, err = s.Contains(txs[w], rec.x)
+			}
+			if err != nil {
+				if !engine.IsConflict(err) {
+					t.Fatal(err)
+				}
+				txs[w].Abort()
+				aborted[w] = true
+				continue
+			}
+			hist = append(hist, rec)
+		}
+		for w := 0; w < 2; w++ {
+			if !aborted[w] {
+				txs[w].Commit()
+			}
+		}
+		if aborted[0] || aborted[1] {
+			continue
+		}
+		bothCommitted++
+		finalKey := snapshotKey(s.Snapshot())
+
+		replay := func(first int) bool {
+			m := map[int64]bool{}
+			for _, x := range base {
+				m[x] = true
+			}
+			for pass := 0; pass < 2; pass++ {
+				tx := first
+				if pass == 1 {
+					tx = 1 - first
+				}
+				for _, rec := range hist {
+					if rec.tx != tx {
+						continue
+					}
+					var got bool
+					switch rec.method {
+					case 0:
+						got = !m[rec.x]
+						m[rec.x] = true
+					case 1:
+						got = m[rec.x]
+						delete(m, rec.x)
+					default:
+						got = m[rec.x]
+					}
+					if got != rec.ret {
+						return false
+					}
+				}
+			}
+			rep := NewHashRep()
+			for x := range m {
+				rep.Add(x)
+			}
+			return snapshotKey(rep.Elems()) == finalKey
+		}
+		if !replay(0) && !replay(1) {
+			t.Fatalf("trial %d: no serial order reproduces %+v from %v", trial, hist, base)
+		}
+	}
+	if bothCommitted == 0 {
+		t.Error("no trial had both transactions commit; test vacuous")
+	}
+}
+
+func snapshotKey(xs []int64) string {
+	key := ""
+	for _, x := range xs {
+		key += string(rune('a'+x)) + ";"
+	}
+	return key
+}

@@ -1,0 +1,97 @@
+package kdtree
+
+import "sort"
+
+// Build constructs a balanced tree over the given (distinct) points by
+// recursive median splitting on the widest axis — the standard bulk-load
+// used when a computation (like the clustering benchmark) starts from a
+// known point set. Queries behave identically to incremental insertion;
+// the tree is just better balanced.
+func Build(pts []Point) *Tree {
+	t := &Tree{}
+	if len(pts) == 0 {
+		return t
+	}
+	own := append([]Point(nil), pts...)
+	t.root = buildNode(own)
+	return t
+}
+
+func buildNode(pts []Point) *node {
+	box := emptyBox
+	for _, p := range pts {
+		box = box.Extend(p)
+	}
+	if len(pts) <= leafCap {
+		return &node{leaf: true, pts: pts, box: box, count: len(pts)}
+	}
+	// Try axes from widest to narrowest until one admits a non-degenerate
+	// median split (distinct points guarantee some axis does).
+	type axisWidth struct {
+		axis  int
+		width float64
+	}
+	axes := []axisWidth{}
+	for i := 0; i < 3; i++ {
+		axes = append(axes, axisWidth{axis: i, width: box.Max[i] - box.Min[i]})
+	}
+	sort.Slice(axes, func(i, j int) bool { return axes[i].width > axes[j].width })
+	for _, aw := range axes {
+		axis := aw.axis
+		if aw.width == 0 {
+			continue
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i][axis] < pts[j][axis] })
+		mid := len(pts) / 2
+		// The split boundary must separate distinct coordinate values so
+		// that childFor's "p[axis] < split" rule is consistent.
+		for mid < len(pts) && pts[mid][axis] == pts[mid-1][axis] {
+			mid++
+		}
+		if mid == len(pts) {
+			// Everything from the original midpoint up shares one value;
+			// try splitting below instead.
+			mid = len(pts) / 2
+			for mid > 1 && pts[mid][axis] == pts[mid-1][axis] {
+				mid--
+			}
+			if mid <= 0 || pts[mid][axis] == pts[mid-1][axis] {
+				continue
+			}
+		}
+		split := pts[mid][axis]
+		left := buildNode(append([]Point(nil), pts[:mid]...))
+		right := buildNode(append([]Point(nil), pts[mid:]...))
+		return &node{
+			axis:  axis,
+			split: split,
+			left:  left,
+			right: right,
+			box:   box,
+			count: len(pts),
+		}
+	}
+	// All points identical on every axis: only possible with duplicates;
+	// degrade to an oversized leaf rather than recurse forever.
+	return &node{leaf: true, pts: pts, box: box, count: len(pts)}
+}
+
+// Depth returns the maximum node depth (1 for a single leaf); a balance
+// diagnostic for tests.
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			return 1
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}

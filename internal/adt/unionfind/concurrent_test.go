@@ -1,0 +1,393 @@
+package unionfind
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"commlat/internal/engine"
+)
+
+func variants(n int) map[string]Sets {
+	return map[string]Sets{
+		"uf-ml":      NewML(n),
+		"uf-gk":      NewGK(n),
+		"uf-generic": NewGeneric(n),
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, s := range variants(16) {
+		ref := NewForest(16)
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 200; i++ {
+			a, b := int64(r.Intn(16)), int64(r.Intn(16))
+			tx := engine.NewTx()
+			if r.Intn(3) == 0 && a != b {
+				got, err := s.Union(tx, a, b)
+				if err != nil {
+					t.Fatalf("%s: union conflicted solo: %v", name, err)
+				}
+				if got != ref.Union(a, b) {
+					t.Fatalf("%s: union(%d,%d) mismatch", name, a, b)
+				}
+			} else {
+				got, err := s.Find(tx, a)
+				if err != nil {
+					t.Fatalf("%s: find conflicted solo: %v", name, err)
+				}
+				if got != ref.Find(a) {
+					t.Fatalf("%s: find(%d) = %d, want %d", name, a, got, ref.Find(a))
+				}
+			}
+			tx.Commit()
+		}
+	}
+}
+
+func TestAbortRestoresPartition(t *testing.T) {
+	for name, s := range variants(8) {
+		seed := engine.NewTx()
+		if _, err := s.Union(seed, 0, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seed.Commit()
+		tx := engine.NewTx()
+		if _, err := s.Union(tx, 2, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := s.Union(tx, 0, 2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tx.Abort()
+		f := s.Forest()
+		if !f.Same(0, 1) {
+			t.Errorf("%s: committed union lost", name)
+		}
+		if f.Same(2, 3) || f.Same(0, 2) {
+			t.Errorf("%s: aborted unions survived", name)
+		}
+	}
+}
+
+// TestSemanticVsMemoryLevel is the paper's opening observation (§1):
+// two finds on the same chain commute semantically, but path compression
+// makes them conflict at memory level.
+func TestSemanticVsMemoryLevel(t *testing.T) {
+	build := func(s Sets) {
+		tx := engine.NewTx()
+		for i := int64(0); i < 5; i++ {
+			if _, err := s.Union(tx, i, i+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tx.Commit()
+	}
+
+	ml := NewML(8)
+	build(ml)
+	// Undo compression performed during build by rebuilding a fresh chain:
+	// the builds above compress; create a fresh uncompressed chain instead.
+	ml2 := NewML(8)
+	for i := int64(0); i < 5; i++ {
+		ml2.f.parent[i] = i + 1
+	}
+	tx1, tx2 := engine.NewTx(), engine.NewTx()
+	if _, err := ml2.Find(tx1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml2.Find(tx2, 0); !engine.IsConflict(err) {
+		t.Fatalf("uf-ml: second find should conflict via compression writes, got %v", err)
+	}
+	tx2.Abort()
+	tx1.Abort()
+
+	for _, name := range []string{"uf-gk", "uf-generic"} {
+		var s Sets
+		if name == "uf-gk" {
+			g := NewGK(8)
+			for i := int64(0); i < 5; i++ {
+				g.f.parent[i] = i + 1
+			}
+			s = g
+		} else {
+			g := NewGeneric(8)
+			for i := int64(0); i < 5; i++ {
+				g.f.parent[i] = i + 1
+			}
+			s = g
+		}
+		tx1, tx2 := engine.NewTx(), engine.NewTx()
+		if r, err := s.Find(tx1, 0); err != nil || r != 5 {
+			t.Fatalf("%s: find = %v, %v", name, r, err)
+		}
+		if r, err := s.Find(tx2, 0); err != nil || r != 5 {
+			t.Fatalf("%s: concurrent find should commute, got %v, %v", name, r, err)
+		}
+		tx2.Abort()
+		tx1.Abort()
+	}
+}
+
+// TestGKScenario mirrors the paper's worked example.
+func TestGKScenario(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) Sets
+	}{
+		{"uf-gk", func(n int) Sets { return NewGK(n) }},
+		{"uf-generic", func(n int) Sets { return NewGeneric(n) }},
+	} {
+		s := tc.mk(8)
+		tx1, tx2 := engine.NewTx(), engine.NewTx()
+		// tx1: union(1,2) — loser 1, winner 2.
+		if _, err := s.Union(tx1, 1, 2); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// tx2: find(3) commutes (untouched set).
+		if r, err := s.Find(tx2, 3); err != nil || r != 3 {
+			t.Fatalf("%s: find(3) = %v, %v", tc.name, r, err)
+		}
+		// tx2: find(2) commutes (2 is the winner; same answer both orders).
+		if r, err := s.Find(tx2, 2); err != nil || r != 2 {
+			t.Fatalf("%s: find(2) = %v, %v", tc.name, r, err)
+		}
+		// tx2: find(1) observes the merge: conflict.
+		if _, err := s.Find(tx2, 1); !engine.IsConflict(err) {
+			t.Fatalf("%s: find(1) should conflict, got %v", tc.name, err)
+		}
+		// tx2: union(1,4) touches the loser: conflict, and rolled back.
+		if _, err := s.Union(tx2, 1, 4); !engine.IsConflict(err) {
+			t.Fatalf("%s: union(1,4) should conflict, got %v", tc.name, err)
+		}
+		if s.Forest().FindNoCompress(4) != 4 {
+			t.Errorf("%s: conflicting union not rolled back", tc.name)
+		}
+		// tx2: union(5,6) is independent: commutes.
+		if _, err := s.Union(tx2, 5, 6); err != nil {
+			t.Fatalf("%s: union(5,6) should commute: %v", tc.name, err)
+		}
+		tx2.Abort()
+		tx1.Commit()
+		f := s.Forest()
+		if !f.Same(1, 2) || f.Same(5, 6) {
+			t.Errorf("%s: commit/abort outcome wrong", tc.name)
+		}
+	}
+}
+
+// TestGKFindReExecution exercises the rollback-and-re-execute path with
+// same-transaction compression across the union (the case that defeats
+// purely log-based checking).
+func TestGKFindReExecution(t *testing.T) {
+	g := NewGK(8)
+	// Chain: 0 -> 1, so rep(0)=1.
+	seed := engine.NewTx()
+	if _, err := g.Union(seed, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	seed.Commit()
+
+	tx1 := engine.NewTx()
+	// tx1 merges {0,1} with {2} (loser rep 1), then compresses 0's path
+	// across its own union edge with a find.
+	if _, err := g.Union(tx1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := g.Find(tx1, 0); err != nil || r != 2 {
+		t.Fatalf("tx1 find(0) = %v, %v", r, err)
+	}
+	// tx2's find(0) must conflict: in tx1's pre-state rep(0)=1, now 2 —
+	// even though 0's parent pointer no longer passes through 1.
+	tx2 := engine.NewTx()
+	if _, err := g.Find(tx2, 0); !engine.IsConflict(err) {
+		t.Fatalf("find(0) should observe the live union, got %v", err)
+	}
+	// tx2's union(0,3): its base rep for 0 is 1, an active loser: conflict.
+	if _, err := g.Union(tx2, 0, 3); !engine.IsConflict(err) {
+		t.Fatalf("union(0,3) should conflict, got %v", err)
+	}
+	tx2.Abort()
+	tx1.Abort()
+	// After tx1 aborts, everything (including its compression) unwinds.
+	if g.f.parent[0] != 1 || g.f.FindNoCompress(2) != 2 {
+		t.Errorf("abort left concrete state %v", g.f.parent)
+	}
+	if g.LiveWrites() != 0 {
+		t.Errorf("journal leaked: %d", g.LiveWrites())
+	}
+}
+
+// TestTwoTxSerializability replays random two-transaction interleavings
+// through each variant; whenever both transactions commit, some serial
+// order must reproduce every recorded return value and the final
+// partition.
+func TestTwoTxSerializability(t *testing.T) {
+	const n = 8
+	for name, mk := range map[string]func() Sets{
+		"uf-gk":      func() Sets { return NewGK(n) },
+		"uf-generic": func() Sets { return NewGeneric(n) },
+		"uf-ml":      func() Sets { return NewML(n) },
+	} {
+		r := rand.New(rand.NewSource(99))
+		bothCommitted := 0
+		for trial := 0; trial < 400; trial++ {
+			s := mk()
+			// Seed a couple of committed unions.
+			seed := engine.NewTx()
+			for i := 0; i < 2; i++ {
+				if _, err := s.Union(seed, int64(r.Intn(n)), int64(r.Intn(n))); err != nil {
+					t.Fatalf("%s: seed conflict: %v", name, err)
+				}
+			}
+			seed.Commit()
+			base := NewForest(n)
+			copy(base.parent, s.Forest().parent)
+
+			txs := [2]*engine.Tx{engine.NewTx(), engine.NewTx()}
+			aborted := [2]bool{}
+			var hist []opRec
+			nops := 2 + r.Intn(5)
+			for i := 0; i < nops; i++ {
+				w := r.Intn(2)
+				if aborted[w] {
+					continue
+				}
+				rec := opRec{tx: w, isFind: r.Intn(2) == 0, a: int64(r.Intn(n)), b: int64(r.Intn(n))}
+				var err error
+				if rec.isFind {
+					rec.ret, err = s.Find(txs[w], rec.a)
+				} else {
+					rec.merged, err = s.Union(txs[w], rec.a, rec.b)
+				}
+				if err != nil {
+					if !engine.IsConflict(err) {
+						t.Fatalf("%s: %v", name, err)
+					}
+					txs[w].Abort()
+					aborted[w] = true
+					continue
+				}
+				rec.ok = true
+				hist = append(hist, rec)
+			}
+			for w := 0; w < 2; w++ {
+				if !aborted[w] {
+					txs[w].Commit()
+				}
+			}
+			// Keep only ops of committed txs.
+			var committed []opRec
+			for _, rec := range hist {
+				if !aborted[rec.tx] {
+					committed = append(committed, rec)
+				}
+			}
+			if aborted[0] || aborted[1] {
+				// With one tx aborted the committed ops ran effectively
+				// alone; just check the final partition matches replay.
+				continue
+			}
+			bothCommitted++
+			finalKey := partitionKey(s.Forest())
+			if !serialOrderExists(base, committed, finalKey) {
+				t.Fatalf("%s: no serial order reproduces history %+v", name, committed)
+			}
+		}
+		if bothCommitted == 0 {
+			t.Errorf("%s: no trial had both txs commit; test vacuous", name)
+		}
+	}
+}
+
+// opRec is one recorded invocation of a two-transaction history.
+type opRec struct {
+	tx     int
+	isFind bool
+	a, b   int64
+	ret    int64 // find result
+	merged bool  // union result
+	ok     bool  // committed op (no conflict)
+}
+
+func partitionKey(f *Forest) string {
+	key := ""
+	for i := 0; i < f.Len(); i++ {
+		key += fmt.Sprint(f.FindNoCompress(int64(i)), ";")
+	}
+	return key
+}
+
+func serialOrderExists(base *Forest, committed []opRec, finalKey string) bool {
+	try := func(first int) bool {
+		f := NewForest(base.Len())
+		copy(f.parent, base.parent)
+		for pass := 0; pass < 2; pass++ {
+			tx := first
+			if pass == 1 {
+				tx = 1 - first
+			}
+			for _, rec := range committed {
+				if rec.tx != tx {
+					continue
+				}
+				if rec.isFind {
+					if f.Find(rec.a) != rec.ret {
+						return false
+					}
+				} else if f.Union(rec.a, rec.b) != rec.merged {
+					return false
+				}
+			}
+		}
+		return partitionKey(f) == finalKey
+	}
+	return try(0) || try(1)
+}
+
+func TestConcurrentStressAllVariants(t *testing.T) {
+	const n = 128
+	for name, mk := range map[string]func() Sets{
+		"uf-gk":      func() Sets { return NewGK(n) },
+		"uf-generic": func() Sets { return NewGeneric(n) },
+		"uf-ml":      func() Sets { return NewML(n) },
+	} {
+		s := mk()
+		var mu sync.Mutex
+		var committed [][2]int64
+		type item struct{ a, b int64 }
+		var items []item
+		r := rand.New(rand.NewSource(17))
+		for i := 0; i < 300; i++ {
+			items = append(items, item{int64(r.Intn(n)), int64(r.Intn(n))})
+		}
+		_, err := engine.RunItems(items, engine.Options{Workers: 8}, func(tx *engine.Tx, it item, _ *engine.Worklist[item]) error {
+			if _, err := s.Find(tx, it.a); err != nil {
+				return err
+			}
+			if _, err := s.Union(tx, it.a, it.b); err != nil {
+				return err
+			}
+			mu.Lock()
+			committed = append(committed, [2]int64{it.a, it.b})
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref := NewForest(n)
+		for _, u := range committed {
+			ref.Union(u[0], u[1])
+		}
+		f := s.Forest()
+		for i := int64(0); i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if f.Same(i, j) != ref.Same(i, j) {
+					t.Fatalf("%s: partition mismatch at (%d,%d)", name, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package unionfind
+
+import (
+	"sync"
+
+	"commlat/internal/engine"
+)
+
+// GK is the paper's concrete general gatekeeper for union-find (§3.3.2,
+// "A general gatekeeper for union-find"). It keeps two logs:
+//
+//   - find-reps: the representatives returned by active finds;
+//   - loser-rep: the loser representative of each active union;
+//
+// plus an exact-write journal of all mutations by live transactions
+// (union edges and path compression). An incoming union conflicts when
+// its base-state representatives include an active loser, or when its
+// loser was returned by an active find. An incoming find executes, then
+// — if other transactions have live mutations — the journal is unwound
+// to the state with no other-transaction effects, the find is
+// re-executed without compression, and the results compared; a mismatch
+// means the find observed a live union and is a conflict. The journal is
+// then replayed.
+//
+// Rolling back only live transactions' writes is sound because every
+// committed mutation was checked to commute with all still-active
+// invocations, so the rolled-back state is C-equivalent to each active
+// invocation's true pre-state (the same stance the paper's prose takes:
+// "undoes the effects of all potentially interfering calls to union").
+type GK struct {
+	mu sync.Mutex
+	f  *Forest
+
+	journal   []txWrite
+	byTx      map[*engine.Tx]int           // live journaled writes per tx
+	findReps  map[int64]map[*engine.Tx]int // rep -> txs holding it via find
+	loserReps map[int64]map[*engine.Tx]int // loser -> txs holding it via union
+	perTx     map[*engine.Tx]*gkTxState
+}
+
+type txWrite struct {
+	tx *engine.Tx
+	w  Write
+}
+
+type gkTxState struct {
+	finds  []int64
+	losers []int64
+}
+
+// NewGK creates a uf-gk structure with n elements.
+func NewGK(n int) *GK {
+	return &GK{
+		f:         NewForest(n),
+		byTx:      map[*engine.Tx]int{},
+		findReps:  map[int64]map[*engine.Tx]int{},
+		loserReps: map[int64]map[*engine.Tx]int{},
+		perTx:     map[*engine.Tx]*gkTxState{},
+	}
+}
+
+// Forest exposes the underlying forest.
+func (g *GK) Forest() *Forest { return g.f }
+
+// othersLive reports whether any transaction other than tx has journaled
+// mutations.
+func (g *GK) othersLive(tx *engine.Tx) bool {
+	return len(g.journal) > g.byTx[tx]
+}
+
+// rollbackOthers exactly undoes every journaled write by transactions
+// other than tx, newest first. Safe because live writes to the same cell
+// always belong to a single transaction (conflicting writes are detected
+// before they are journaled).
+func (g *GK) rollbackOthers(tx *engine.Tx) {
+	for i := len(g.journal) - 1; i >= 0; i-- {
+		if g.journal[i].tx != tx {
+			g.f.parent[g.journal[i].w.Idx] = g.journal[i].w.Old
+		}
+	}
+}
+
+// redoOthers replays what rollbackOthers undid, oldest first.
+func (g *GK) redoOthers(tx *engine.Tx) {
+	for i := 0; i < len(g.journal); i++ {
+		if g.journal[i].tx != tx {
+			g.f.parent[g.journal[i].w.Idx] = g.journal[i].w.New
+		}
+	}
+}
+
+// baseReps evaluates the representatives of a and b in the rolled-back
+// base state (≈ the s1 of every active invocation, up to C-equivalence).
+func (g *GK) baseReps(tx *engine.Tx, a, b int64) (int64, int64) {
+	if !g.othersLive(tx) {
+		return g.f.FindNoCompress(a), g.f.FindNoCompress(b)
+	}
+	g.rollbackOthers(tx)
+	ra, rb := g.f.FindNoCompress(a), g.f.FindNoCompress(b)
+	g.redoOthers(tx)
+	return ra, rb
+}
+
+// heldByOther reports whether some transaction other than tx appears in
+// the log bucket.
+func heldByOther(bucket map[*engine.Tx]int, tx *engine.Tx) (*engine.Tx, bool) {
+	for t := range bucket {
+		if t != tx {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Union merges a's and b's sets under gatekeeping, reporting whether the
+// partition changed. A union of an already-joined pair mutates nothing
+// and commutes with everything, so it passes without logging.
+func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	var ra0, rb0 int64
+	if !g.othersLive(tx) {
+		// Fast path: no live foreign mutations, so the current state IS
+		// the base state — use compressing finds (journaled for exact
+		// abort) to keep amortized costs near-constant.
+		var wsa, wsb []Write
+		ra0, wsa = g.f.FindW(a)
+		rb0, wsb = g.f.FindW(b)
+		g.journalWrites(tx, wsa)
+		g.journalWrites(tx, wsb)
+	} else {
+		ra0, rb0 = g.baseReps(tx, a, b)
+	}
+	if other, held := heldByOther(g.loserReps[ra0], tx); held {
+		return false, engine.Conflict("uf-gk: rep %d of %d lost an active union (tx %d)", ra0, a, other.ID())
+	}
+	if other, held := heldByOther(g.loserReps[rb0], tx); held {
+		return false, engine.Conflict("uf-gk: rep %d of %d lost an active union (tx %d)", rb0, b, other.ID())
+	}
+	if ra0 == rb0 {
+		return false, nil
+	}
+	l := ra0
+	if rb0 < ra0 {
+		l = rb0
+	}
+	if other, held := heldByOther(g.findReps[l], tx); held {
+		return false, engine.Conflict("uf-gk: loser %d was returned by an active find (tx %d)", l, other.ID())
+	}
+
+	// Perform the union and journal its exact writes.
+	merged, ws := g.f.UnionW(a, b)
+	g.journalWrites(tx, ws)
+	g.record(tx).losers = append(g.record(tx).losers, l)
+	bucket := g.loserReps[l]
+	if bucket == nil {
+		bucket = map[*engine.Tx]int{}
+		g.loserReps[l] = bucket
+	}
+	bucket[tx]++
+	return merged, nil
+}
+
+// Find returns a's representative under gatekeeping, compressing the
+// path on success.
+func (g *GK) Find(tx *engine.Tx, a int64) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	ra, ws := g.f.FindW(a)
+	if g.othersLive(tx) {
+		// Re-execute in the pre-state of the active invocations: undo our
+		// fresh compression, unwind other transactions' writes, query,
+		// replay.
+		g.f.Revert(ws)
+		g.rollbackOthers(tx)
+		ra0 := g.f.FindNoCompress(a)
+		g.redoOthers(tx)
+		if ra0 != ra {
+			return ra, engine.Conflict("uf-gk: find(%d) = %d observes an active union (was %d)", a, ra, ra0)
+		}
+		g.f.Apply(ws)
+	}
+	g.journalWrites(tx, ws)
+	g.record(tx).finds = append(g.record(tx).finds, ra)
+	bucket := g.findReps[ra]
+	if bucket == nil {
+		bucket = map[*engine.Tx]int{}
+		g.findReps[ra] = bucket
+	}
+	bucket[tx]++
+	return ra, nil
+}
+
+func (g *GK) journalWrites(tx *engine.Tx, ws []Write) {
+	g.record(tx) // ensure hooks exist even for write-free finds
+	for _, w := range ws {
+		g.journal = append(g.journal, txWrite{tx: tx, w: w})
+	}
+	g.byTx[tx] += len(ws)
+}
+
+// record returns tx's log state, installing the lifecycle hooks on first
+// use.
+func (g *GK) record(tx *engine.Tx) *gkTxState {
+	st, ok := g.perTx[tx]
+	if !ok {
+		st = &gkTxState{}
+		g.perTx[tx] = st
+		tx.OnUndo(func() { g.abortTx(tx) })
+		tx.OnRelease(func() { g.endTx(tx) })
+	}
+	return st
+}
+
+// abortTx exactly undoes tx's journaled writes (newest first).
+func (g *GK) abortTx(tx *engine.Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := len(g.journal) - 1; i >= 0; i-- {
+		if g.journal[i].tx == tx {
+			g.f.parent[g.journal[i].w.Idx] = g.journal[i].w.Old
+			g.journal = append(g.journal[:i], g.journal[i+1:]...)
+		}
+	}
+	g.byTx[tx] = 0
+}
+
+// endTx drops tx's journal entries and log records.
+func (g *GK) endTx(tx *engine.Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.journal[:0]
+	for _, jw := range g.journal {
+		if jw.tx != tx {
+			kept = append(kept, jw)
+		}
+	}
+	g.journal = kept
+	delete(g.byTx, tx)
+	if st := g.perTx[tx]; st != nil {
+		for _, r := range st.finds {
+			if b := g.findReps[r]; b != nil {
+				if b[tx]--; b[tx] <= 0 {
+					delete(b, tx)
+				}
+				if len(b) == 0 {
+					delete(g.findReps, r)
+				}
+			}
+		}
+		for _, l := range st.losers {
+			if b := g.loserReps[l]; b != nil {
+				if b[tx]--; b[tx] <= 0 {
+					delete(b, tx)
+				}
+				if len(b) == 0 {
+					delete(g.loserReps, l)
+				}
+			}
+		}
+	}
+	delete(g.perTx, tx)
+}
+
+// LiveWrites reports the journal length (tests and diagnostics).
+func (g *GK) LiveWrites() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.journal)
+}

@@ -1,0 +1,91 @@
+// Package bench is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (§5), each returning typed rows that
+// render in the paper's format. cmd/commlat exposes them as subcommands
+// and bench_test.go wires them into `go test -bench`.
+//
+// Absolute numbers differ from the paper's (different machine, runtime
+// and scale — see EXPERIMENTS.md); the quantities compared and the
+// expected *shape* of each result are the paper's.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Series is one line of a figure: elapsed seconds per thread count.
+type Series struct {
+	Name    string
+	Threads []int
+	Seconds []float64
+}
+
+// Speedups converts the series to speedup over the given serial time.
+func (s Series) Speedups(serial float64) []float64 {
+	out := make([]float64, len(s.Seconds))
+	for i, sec := range s.Seconds {
+		if sec > 0 {
+			out[i] = serial / sec
+		}
+	}
+	return out
+}
+
+// Figure is a set of series over a common thread axis plus the serial
+// baseline time.
+type Figure struct {
+	Title         string
+	SerialSeconds float64
+	Series        []Series
+}
+
+// String renders the figure as a text table of times and speedups.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (serial %.3fs)\n", f.Title, f.SerialSeconds)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", "threads")
+	for _, th := range f.Series[0].Threads {
+		fmt.Fprintf(&b, "%10d", th)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-12s", s.Name+" t")
+		for _, sec := range s.Seconds {
+			fmt.Fprintf(&b, "%9.3fs", sec)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-12s", s.Name+" x")
+		for _, sp := range s.Speedups(f.SerialSeconds) {
+			fmt.Fprintf(&b, "%9.2fx", sp)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// timed runs f and returns the elapsed wall-clock time.
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// median3 runs f three times and returns the median duration, for less
+// noisy single-shot measurements.
+func median3(f func() time.Duration) time.Duration {
+	a, b, c := f(), f(), f()
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

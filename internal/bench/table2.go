@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"commlat/internal/adt/intset"
+	"commlat/internal/engine"
+	"commlat/internal/workload"
+)
+
+// Table2Row is one line of Table 2: a conflict-detection scheme with its
+// abort ratio and run time on the distinct-elements and the
+// equivalence-classes inputs of the set microbenchmark.
+type Table2Row struct {
+	Scheme           string
+	DistinctAborts   float64 // abort ratio, 0..1
+	DistinctSeconds  float64
+	RepeatedAborts   float64
+	RepeatedSeconds  float64
+	DistinctElements []int64 // final set contents (for validation); nil in reports
+}
+
+// Table2Config sizes the set microbenchmark. The paper runs 1M operations
+// on 4 threads with 10 equivalence classes. Extended adds two rows beyond
+// the paper: the liberal guarded-lock scheme (footnote 6, implementing
+// figure 2 with locks) and the object-STM set (the §4.3 lattice point FC).
+type Table2Config struct {
+	Ops      int
+	Classes  int
+	Threads  int
+	Seed     int64
+	Extended bool
+}
+
+// DefaultTable2 is a laptop-scaled configuration.
+func DefaultTable2() Table2Config {
+	return Table2Config{Ops: 100_000, Classes: 10, Threads: 4, Seed: 1}
+}
+
+// Table2Schemes enumerates the microbenchmark's four schemes in lattice
+// order: the ⊥ global lock, exclusive element locks, read/write element
+// locks (figure 3) and the forward gatekeeper (figure 2).
+func Table2Schemes() []string {
+	return []string{"Global Lock", "Abs. Lock (Ex.)", "Abs. Lock (RW)", "Gatekeeper"}
+}
+
+// Table2ExtendedSchemes are the extension rows (not in the paper's
+// table): liberal guarded locks and the object-STM baseline.
+func Table2ExtendedSchemes() []string {
+	return []string{"Liberal (ext.)", "STM (ext.)"}
+}
+
+func newScheme(name string) intset.Set {
+	switch name {
+	case "Global Lock":
+		return intset.NewGlobalLock(intset.NewHashRep())
+	case "Abs. Lock (Ex.)":
+		return intset.NewExclusiveLocked(intset.NewHashRep())
+	case "Abs. Lock (RW)":
+		return intset.NewRWLocked(intset.NewHashRep())
+	case "Gatekeeper":
+		return intset.NewGatekept(intset.NewHashRep())
+	case "Liberal (ext.)":
+		return intset.NewLiberalLocked(intset.NewHashRep())
+	case "STM (ext.)":
+		return intset.NewSTM(1024)
+	default:
+		panic("bench: unknown scheme " + name)
+	}
+}
+
+// RunSetMicro drives one scheme over one operation stream with an
+// overlap window of `threads` concurrently live transactions: each
+// operation runs in its own transaction, which stays open until the
+// window is full and the oldest commits. The window models `threads`
+// hardware threads each holding one in-flight transaction, so contention
+// (the Abort Ratio column) is measured deterministically even on a
+// single-CPU host; elapsed time measures the scheme's total work
+// including retried operations. On conflict the oldest transaction
+// commits (making progress) and the operation retries.
+func RunSetMicro(s intset.Set, ops []workload.SetOp, threads int) (engine.Stats, time.Duration, error) {
+	var aborts uint64
+	d := timed(func() {
+		open := make([]*engine.Tx, 0, threads)
+		commitOldest := func() {
+			open[0].Commit()
+			open = open[1:]
+		}
+		for _, op := range ops {
+			for {
+				tx := engine.NewTx()
+				var err error
+				if op.Add {
+					_, err = s.Add(tx, op.X)
+				} else {
+					_, err = s.Contains(tx, op.X)
+				}
+				if err == nil {
+					open = append(open, tx)
+					if len(open) == threads {
+						commitOldest()
+					}
+					break
+				}
+				tx.Abort()
+				aborts++
+				if len(open) > 0 {
+					commitOldest()
+				}
+			}
+		}
+		for _, tx := range open {
+			tx.Commit()
+		}
+	})
+	return engine.Stats{Committed: uint64(len(ops)), Aborts: aborts, Elapsed: d}, d, nil
+}
+
+// Table2 reproduces Table 2: for each scheme, abort ratio and time on
+// the distinct input (every element unique — locks never contend) and on
+// the k-classes input (repeats expose precision differences: gatekeeping
+// lets non-mutating adds share, read/write locks let reads share,
+// exclusive locks serialize same-element access, the global lock
+// serializes everything).
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	distinct := workload.SetOpsDistinct(cfg.Ops, cfg.Seed)
+	repeated := workload.SetOpsClasses(cfg.Ops, cfg.Classes, cfg.Seed)
+	schemes := Table2Schemes()
+	if cfg.Extended {
+		schemes = append(schemes, Table2ExtendedSchemes()...)
+	}
+	var rows []Table2Row
+	for _, name := range schemes {
+		sd := newScheme(name)
+		statsD, durD, err := RunSetMicro(sd, distinct, cfg.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("%s/distinct: %w", name, err)
+		}
+		sr := newScheme(name)
+		statsR, durR, err := RunSetMicro(sr, repeated, cfg.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("%s/repeats: %w", name, err)
+		}
+		rows = append(rows, Table2Row{
+			Scheme:          name,
+			DistinctAborts:  statsD.AbortRatio(),
+			DistinctSeconds: durD.Seconds(),
+			RepeatedAborts:  statsR.AbortRatio(),
+			RepeatedSeconds: durR.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %22s %22s\n", "", "(a) Distinct", "(b) Repeats")
+	fmt.Fprintf(&b, "%-18s %10s %11s %10s %11s\n", "Program", "Abort %", "Time (s)", "Abort %", "Time (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10.2f %11.3f %10.2f %11.3f\n",
+			r.Scheme, r.DistinctAborts*100, r.DistinctSeconds, r.RepeatedAborts*100, r.RepeatedSeconds)
+	}
+	return b.String()
+}

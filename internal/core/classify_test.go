@@ -1,0 +1,146 @@
+package core
+
+import "testing"
+
+func TestClassifySimple(t *testing.T) {
+	cases := []Cond{
+		True(),
+		False(),
+		Ne(Arg1(0), Arg2(0)),
+		And(Ne(Arg1(0), Arg2(0)), Ne(Ret1(), Arg2(0))),
+		And(Ne(Arg2(0), Arg1(0))), // reversed operand order still SIMPLE
+	}
+	for _, c := range cases {
+		if got := Classify(c); got != ClassSimple {
+			t.Errorf("Classify(%s) = %v, want SIMPLE", c, got)
+		}
+	}
+}
+
+func TestClassifyNotSimple(t *testing.T) {
+	cases := []Cond{
+		Eq(Arg1(0), Arg2(0)),                             // equality, not disequality
+		Or(Ne(Arg1(0), Arg2(0)), Eq(Ret1(), Lit(false))), // disjunction
+		Ne(Arg1(0), Ret1()),                              // both operands side 1
+		Ne(Arg1(0), Lit(3)),                              // constant operand
+		Gt(Arg1(0), Arg2(0)),                             // ordering
+		Ne(Fn1("part", Arg1(0)), Fn2("part", Arg2(0))),   // keyed (partition) form is not strict L2
+	}
+	for _, c := range cases {
+		if IsSimple(c) {
+			t.Errorf("IsSimple(%s) = true, want false", c)
+		}
+	}
+}
+
+func TestAsSimpleKeyed(t *testing.T) {
+	c := Ne(Fn1("part", Arg1(0)), Fn2("part", Arg2(0)))
+	form, ok := AsSimple(c, map[string]bool{"part": true})
+	if !ok {
+		t.Fatalf("keyed AsSimple failed for %s", c)
+	}
+	if form.Kind != SimpleConj || len(form.Conjuncts) != 1 {
+		t.Fatalf("unexpected form %+v", form)
+	}
+	cj := form.Conjuncts[0]
+	if cj.Key != "part" || cj.X.IsRet || cj.Y.IsRet {
+		t.Errorf("unexpected conjunct %+v", cj)
+	}
+	// Mismatched keys must fail.
+	bad := Ne(Fn1("part", Arg1(0)), Fn2("other", Arg2(0)))
+	if _, ok := AsSimple(bad, map[string]bool{"part": true, "other": true}); ok {
+		t.Error("mismatched key functions should not be SIMPLE")
+	}
+}
+
+func TestAsSimpleSlotOrientation(t *testing.T) {
+	// Ne(second, first) should normalize to X=first-side slot.
+	form, ok := AsSimple(Ne(Arg2(1), Ret1()), nil)
+	if !ok {
+		t.Fatal("AsSimple failed")
+	}
+	cj := form.Conjuncts[0]
+	if !cj.X.IsRet || cj.Y.IsRet || cj.Y.Arg != 1 {
+		t.Errorf("orientation wrong: %+v", cj)
+	}
+}
+
+func TestClassifyOnline(t *testing.T) {
+	// kd-tree style: dist(s1; a2, r1) — a function of s1 whose arguments
+	// come from the second invocation is NOT online-checkable...
+	notOnline := Gt(Fn1("rep", Arg2(0)), Ret1())
+	if IsOnlineCheckable(notOnline) {
+		t.Errorf("%s should not be online-checkable", notOnline)
+	}
+	// ...but a function of s1 over first-invocation values is, and a
+	// function of s2 may use anything.
+	online := And(
+		Gt(Fn1("dist", Arg1(0), Ret1()), Lit(0)),
+		Gt(Fn2("dist", Arg1(0), Arg2(0)), Lit(0)),
+	)
+	if !IsOnlineCheckable(online) {
+		t.Errorf("%s should be online-checkable", online)
+	}
+	if Classify(online) != ClassOnline {
+		t.Errorf("Classify(%s) = %v, want ONLINE", online, Classify(online))
+	}
+}
+
+func TestClassifyGeneral(t *testing.T) {
+	// union-find condition (2): rep evaluated in s1 on the *second*
+	// invocation's argument.
+	c := Ne(Fn1("rep", Arg2(0)), Fn1("loser", Arg1(0), Arg1(1)))
+	if got := Classify(c); got != ClassGeneral {
+		t.Errorf("Classify(%s) = %v, want GENERAL", c, got)
+	}
+}
+
+func TestClassifyNestedFnOnline(t *testing.T) {
+	// A first-state function nested inside a second-state function is
+	// fine as long as the first-state function's args stay on side 1.
+	ok := Eq(Fn2("f", Fn1("g", Arg1(0))), Ret2())
+	if !IsOnlineCheckable(ok) {
+		t.Errorf("%s should be online-checkable", ok)
+	}
+	// Second-state function feeding a first-state function is not.
+	bad := Eq(Fn1("g", Fn2("f", Arg1(0))), Ret2())
+	if IsOnlineCheckable(bad) {
+		t.Errorf("%s should not be online-checkable", bad)
+	}
+}
+
+func TestFirstStateFns(t *testing.T) {
+	c := Or(
+		Gt(Fn1("dist", Arg1(0), Ret1()), Fn2("dist", Arg1(0), Arg2(0))),
+		And(Eq(Fn1("dist", Arg1(0), Ret1()), Lit(0)), Ne(Fn1("rank", Arg1(0)), Lit(1))),
+	)
+	fns := FirstStateFns(c)
+	if len(fns) != 2 {
+		t.Fatalf("FirstStateFns found %d fns, want 2 (dedup): %v", len(fns), fns)
+	}
+	names := map[string]bool{}
+	for _, f := range fns {
+		names[f.Fn] = true
+	}
+	if !names["dist"] || !names["rank"] {
+		t.Errorf("unexpected fn set %v", names)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSimple.String() != "SIMPLE" || ClassOnline.String() != "ONLINE-CHECKABLE" || ClassGeneral.String() != "GENERAL" {
+		t.Error("Class String() labels wrong")
+	}
+}
+
+func TestSlotRefString(t *testing.T) {
+	if (SlotRef{IsRet: true}).String() != "ret" {
+		t.Error("ret slot name")
+	}
+	if (SlotRef{Arg: 0}).String() != "x" {
+		t.Error("first arg slot should be x")
+	}
+	if (SlotRef{Arg: 1}).String() != "x1" {
+		t.Error("second arg slot should be x1")
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CmpOp is a comparison operator of L1.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota // =
+	CmpNe              // ≠
+	CmpLt              // <
+	CmpGt              // >
+	CmpLe              // ≤
+	CmpGe              // ≥
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpGt:
+		return ">"
+	case CmpLe:
+		return "<="
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// negate returns the complementary comparison operator.
+func (op CmpOp) negate() CmpOp {
+	switch op {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpGt:
+		return CmpLe
+	case CmpLe:
+		return CmpGt
+	case CmpGe:
+		return CmpLt
+	}
+	return op
+}
+
+// Cond is a commutativity condition: a quantifier-free formula of L1 over
+// the arguments, return values and state functions of two invocations.
+type Cond interface {
+	isCond()
+	String() string
+}
+
+// TrueCond is the always-true condition (the invocations always commute).
+type TrueCond struct{}
+
+// FalseCond is the always-false condition (⊥: never commute).
+type FalseCond struct{}
+
+// NotCond is logical negation.
+type NotCond struct{ C Cond }
+
+// AndCond is logical conjunction.
+type AndCond struct{ L, R Cond }
+
+// OrCond is logical disjunction.
+type OrCond struct{ L, R Cond }
+
+// CmpCond compares two terms.
+type CmpCond struct {
+	Op   CmpOp
+	L, R Term
+}
+
+func (TrueCond) isCond()  {}
+func (FalseCond) isCond() {}
+func (NotCond) isCond()   {}
+func (AndCond) isCond()   {}
+func (OrCond) isCond()    {}
+func (CmpCond) isCond()   {}
+
+func (TrueCond) String() string  { return "true" }
+func (FalseCond) String() string { return "false" }
+func (c NotCond) String() string { return fmt.Sprintf("!(%s)", c.C) }
+func (c AndCond) String() string { return fmt.Sprintf("(%s && %s)", c.L, c.R) }
+func (c OrCond) String() string  { return fmt.Sprintf("(%s || %s)", c.L, c.R) }
+func (c CmpCond) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// True is the always-true condition.
+func True() Cond { return TrueCond{} }
+
+// False is the always-false condition.
+func False() Cond { return FalseCond{} }
+
+// Not negates a condition.
+func Not(c Cond) Cond { return NotCond{C: c} }
+
+// Eq builds l = r.
+func Eq(l, r Term) Cond { return CmpCond{Op: CmpEq, L: l, R: r} }
+
+// Ne builds l ≠ r.
+func Ne(l, r Term) Cond { return CmpCond{Op: CmpNe, L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Term) Cond { return CmpCond{Op: CmpLt, L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Term) Cond { return CmpCond{Op: CmpGt, L: l, R: r} }
+
+// Le builds l ≤ r.
+func Le(l, r Term) Cond { return CmpCond{Op: CmpLe, L: l, R: r} }
+
+// Ge builds l ≥ r.
+func Ge(l, r Term) Cond { return CmpCond{Op: CmpGe, L: l, R: r} }
+
+// And conjoins conditions; And() is true.
+func And(cs ...Cond) Cond {
+	switch len(cs) {
+	case 0:
+		return TrueCond{}
+	case 1:
+		return cs[0]
+	}
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = AndCond{L: out, R: c}
+	}
+	return out
+}
+
+// Or disjoins conditions; Or() is false.
+func Or(cs ...Cond) Cond {
+	switch len(cs) {
+	case 0:
+		return FalseCond{}
+	case 1:
+		return cs[0]
+	}
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = OrCond{L: out, R: c}
+	}
+	return out
+}
+
+// SwapSides rewrites a condition exchanging the roles of the first and
+// second invocation, so that a stored condition for (m1, m2) can answer a
+// query for (m2, m1).
+func SwapSides(c Cond) Cond {
+	switch x := c.(type) {
+	case TrueCond, FalseCond:
+		return x
+	case NotCond:
+		return NotCond{C: SwapSides(x.C)}
+	case AndCond:
+		return AndCond{L: SwapSides(x.L), R: SwapSides(x.R)}
+	case OrCond:
+		return OrCond{L: SwapSides(x.L), R: SwapSides(x.R)}
+	case CmpCond:
+		return CmpCond{Op: x.Op, L: SwapTermSides(x.L), R: SwapTermSides(x.R)}
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+// condKey is a canonical structural key for a condition, used to detect
+// duplicate conjuncts/disjuncts during simplification and implication.
+// Comparisons are normalized so that symmetric operands compare equal.
+func condKey(c Cond) string {
+	switch x := c.(type) {
+	case TrueCond:
+		return "true"
+	case FalseCond:
+		return "false"
+	case NotCond:
+		return "!(" + condKey(x.C) + ")"
+	case AndCond:
+		keys := conjKeys(x)
+		sort.Strings(keys)
+		return "&&[" + strings.Join(keys, ";") + "]"
+	case OrCond:
+		keys := disjKeys(x)
+		sort.Strings(keys)
+		return "||[" + strings.Join(keys, ";") + "]"
+	case CmpCond:
+		l, r := termKey(x.L), termKey(x.R)
+		op := x.Op
+		// Normalize symmetric and flippable comparisons so that
+		// "a = b" and "b = a" (and "a < b" / "b > a") share a key.
+		flip := false
+		switch op {
+		case CmpEq, CmpNe:
+			flip = l > r
+		case CmpGt:
+			op, flip = CmpLt, true
+		case CmpGe:
+			op, flip = CmpLe, true
+		}
+		if flip {
+			l, r = r, l
+		}
+		return fmt.Sprintf("%s %s %s", l, op, r)
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+func conjKeys(c Cond) []string {
+	if a, ok := c.(AndCond); ok {
+		return append(conjKeys(a.L), conjKeys(a.R)...)
+	}
+	return []string{condKey(c)}
+}
+
+func disjKeys(c Cond) []string {
+	if o, ok := c.(OrCond); ok {
+		return append(disjKeys(o.L), disjKeys(o.R)...)
+	}
+	return []string{condKey(c)}
+}
+
+// Conjuncts flattens a conjunction tree into its leaves.
+func Conjuncts(c Cond) []Cond {
+	if a, ok := c.(AndCond); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Cond{c}
+}
+
+// Disjuncts flattens a disjunction tree into its leaves.
+func Disjuncts(c Cond) []Cond {
+	if o, ok := c.(OrCond); ok {
+		return append(Disjuncts(o.L), Disjuncts(o.R)...)
+	}
+	return []Cond{c}
+}
+
+// Simplify performs constant folding, flattening and duplicate removal on
+// a condition. It preserves logical equivalence.
+func Simplify(c Cond) Cond {
+	switch x := c.(type) {
+	case TrueCond, FalseCond, CmpCond:
+		return x
+	case NotCond:
+		inner := Simplify(x.C)
+		switch y := inner.(type) {
+		case TrueCond:
+			return FalseCond{}
+		case FalseCond:
+			return TrueCond{}
+		case NotCond:
+			return y.C
+		case CmpCond:
+			return CmpCond{Op: y.Op.negate(), L: y.L, R: y.R}
+		default:
+			return NotCond{C: inner}
+		}
+	case AndCond:
+		var parts []Cond
+		for _, leaf := range Conjuncts(x) {
+			leaf = Simplify(leaf)
+			switch leaf.(type) {
+			case FalseCond:
+				return FalseCond{}
+			case TrueCond:
+				continue
+			}
+			// Absorption: drop p when a kept conjunct already implies it;
+			// drop kept conjuncts that p implies.
+			redundant := false
+			for _, k := range parts {
+				if implies(k, leaf) {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				continue
+			}
+			kept := parts[:0]
+			for _, k := range parts {
+				if !implies(leaf, k) {
+					kept = append(kept, k)
+				}
+			}
+			parts = append(kept, leaf)
+		}
+		return And(parts...)
+	case OrCond:
+		var parts []Cond
+		for _, leaf := range Disjuncts(x) {
+			leaf = Simplify(leaf)
+			switch leaf.(type) {
+			case TrueCond:
+				return TrueCond{}
+			case FalseCond:
+				continue
+			}
+			// Absorption: drop p when it implies a kept disjunct; drop
+			// kept disjuncts that imply p.
+			redundant := false
+			for _, k := range parts {
+				if implies(leaf, k) {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				continue
+			}
+			kept := parts[:0]
+			for _, k := range parts {
+				if !implies(k, leaf) {
+					kept = append(kept, k)
+				}
+			}
+			parts = append(kept, leaf)
+		}
+		return Or(parts...)
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+// CondEqual reports structural equality of two conditions up to
+// flattening, duplicate removal and operand symmetry.
+func CondEqual(a, b Cond) bool {
+	return condKey(Simplify(a)) == condKey(Simplify(b))
+}

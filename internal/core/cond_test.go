@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randCond builds a random condition over a small term vocabulary so that
+// property tests can explore the condition algebra.
+func randCond(r *rand.Rand, depth int) Cond {
+	terms := []Term{Arg1(0), Arg2(0), Ret1(), Ret2(), Lit(0), Lit(1)}
+	t := func() Term { return terms[r.Intn(len(terms))] }
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		case 2:
+			return Eq(t(), t())
+		default:
+			return Ne(t(), t())
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Not(randCond(r, depth-1))
+	case 1:
+		return And(randCond(r, depth-1), randCond(r, depth-1))
+	case 2:
+		return Or(randCond(r, depth-1), randCond(r, depth-1))
+	case 3:
+		return Lt(t(), t())
+	default:
+		return randCond(r, 0)
+	}
+}
+
+// randEnv yields an environment binding all vocabulary slots to small ints.
+func randEnv(r *rand.Rand) *PairEnv {
+	v := func() Value { return int64(r.Intn(3)) }
+	return &PairEnv{
+		Inv1: Invocation{Method: "m1", Args: []Value{v()}, Ret: v()},
+		Inv2: Invocation{Method: "m2", Args: []Value{v()}, Ret: v()},
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		c := randCond(r, 3)
+		s := Simplify(c)
+		for j := 0; j < 8; j++ {
+			env := randEnv(r)
+			want, err1 := Eval(c, env)
+			got, err2 := Eval(s, env)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval error: %v / %v", err1, err2)
+			}
+			if want != got {
+				t.Fatalf("Simplify changed semantics:\n  orig %s\n  simp %s\n  env %+v", c, s, env)
+			}
+		}
+	}
+}
+
+func TestSimplifyConstants(t *testing.T) {
+	cases := []struct {
+		in   Cond
+		want Cond
+	}{
+		{And(True(), True()), True()},
+		{And(True(), False()), False()},
+		{Or(False(), False()), False()},
+		{Or(True(), False()), True()},
+		{Not(True()), False()},
+		{Not(False()), True()},
+		{Not(Not(Eq(Arg1(0), Arg2(0)))), Eq(Arg1(0), Arg2(0))},
+		{And(Ne(Arg1(0), Arg2(0)), Ne(Arg1(0), Arg2(0))), Ne(Arg1(0), Arg2(0))},
+		{Not(Eq(Arg1(0), Arg2(0))), Ne(Arg1(0), Arg2(0))},
+		{Not(Lt(Arg1(0), Arg2(0))), Ge(Arg1(0), Arg2(0))},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in); condKey(got) != condKey(c.want) {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCondKeySymmetry(t *testing.T) {
+	if condKey(Eq(Arg1(0), Arg2(0))) != condKey(Eq(Arg2(0), Arg1(0))) {
+		t.Error("Eq operand symmetry not normalized")
+	}
+	if condKey(Lt(Arg1(0), Arg2(0))) != condKey(Gt(Arg2(0), Arg1(0))) {
+		t.Error("Lt/Gt flip not normalized")
+	}
+	if condKey(And(True(), Eq(Arg1(0), Ret2()))) == condKey(Eq(Arg1(0), Ret1())) {
+		t.Error("distinct conditions share a key")
+	}
+}
+
+func TestCondEqualFlattening(t *testing.T) {
+	a := And(Ne(Arg1(0), Arg2(0)), And(Ne(Ret1(), Arg2(0)), Ne(Arg1(0), Arg2(0))))
+	b := And(Ne(Ret1(), Arg2(0)), Ne(Arg1(0), Arg2(0)))
+	if !CondEqual(a, b) {
+		t.Errorf("flattened conjunctions should be equal: %s vs %s", a, b)
+	}
+	if CondEqual(a, Ne(Arg1(0), Arg2(0))) {
+		t.Error("dropping a conjunct should not be equal")
+	}
+}
+
+func TestSwapSidesInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		c := randCond(r, 3)
+		if condKey(SwapSides(SwapSides(c))) != condKey(c) {
+			t.Fatalf("swap not an involution for %s", c)
+		}
+	}
+}
+
+func TestSwapSidesSemantics(t *testing.T) {
+	// Evaluating swap(c) with inverted invocations must match c.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		c := randCond(r, 3)
+		env := randEnv(r)
+		swapped := &PairEnv{Inv1: env.Inv2, Inv2: env.Inv1, S1: env.S2, S2: env.S1}
+		a, err1 := Eval(c, env)
+		b, err2 := Eval(SwapSides(c), swapped)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval error: %v / %v", err1, err2)
+		}
+		if a != b {
+			t.Fatalf("SwapSides semantics broken for %s", c)
+		}
+	}
+}
+
+func TestAndOrEmpty(t *testing.T) {
+	if _, ok := And().(TrueCond); !ok {
+		t.Error("And() should be true")
+	}
+	if _, ok := Or().(FalseCond); !ok {
+		t.Error("Or() should be false")
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	c := And(Ne(Arg1(0), Arg2(0)), Ne(Ret1(), Ret2()), True())
+	if got := len(Conjuncts(c)); got != 3 {
+		t.Errorf("Conjuncts: got %d leaves, want 3", got)
+	}
+	d := Or(Eq(Arg1(0), Arg2(0)), False())
+	if got := len(Disjuncts(d)); got != 2 {
+		t.Errorf("Disjuncts: got %d leaves, want 2", got)
+	}
+}
+
+func TestCondStringStable(t *testing.T) {
+	c := Or(Ne(Arg1(0), Arg2(0)), And(Eq(Ret1(), Lit(false)), Eq(Ret2(), Lit(false))))
+	want := "(v1[0] != v2[0] || (r1 = false && r2 = false))"
+	if c.String() != want {
+		t.Errorf("String() = %q, want %q", c.String(), want)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		c := randCond(rr, 4)
+		s := Simplify(c)
+		return condKey(Simplify(s)) == condKey(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

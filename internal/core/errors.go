@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+// ErrUnknownFn builds the standard error a state-function resolver
+// returns for a name it does not implement.
+func ErrUnknownFn(fn string) error {
+	return fmt.Errorf("core: unknown state function %q", fn)
+}
+
+// ErrBadArgs builds the standard error a state-function resolver returns
+// for arguments of the wrong type or arity.
+func ErrBadArgs(fn string) error {
+	return fmt.Errorf("core: bad arguments for state function %q", fn)
+}

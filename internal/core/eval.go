@@ -1,0 +1,151 @@
+package core
+
+import "fmt"
+
+// Invocation is a recorded method invocation: the method name, its
+// (normalized) arguments and its return value. For void methods Ret is nil.
+type Invocation struct {
+	Method string
+	Args   []Value
+	Ret    Value
+}
+
+// NewInvocation builds an Invocation with normalized argument values.
+func NewInvocation(method string, args []Value, ret Value) Invocation {
+	nargs := make([]Value, len(args))
+	for i, a := range args {
+		nargs[i] = Norm(a)
+	}
+	return Invocation{Method: method, Args: nargs, Ret: Norm(ret)}
+}
+
+// StateFn resolves a named state function (such as rep, rank, loser, dist
+// or part) against some abstract state. Implementations are provided by
+// the ADT or by logs kept by a conflict detector.
+type StateFn func(fn string, args []Value) (Value, error)
+
+// PairEnv is the evaluation environment for a condition over a pair of
+// invocations: the two invocations plus resolvers for functions of the two
+// abstract states s1 and s2. Either resolver may be nil if the condition
+// does not mention functions of that state.
+type PairEnv struct {
+	Inv1, Inv2 Invocation
+	S1, S2     StateFn
+}
+
+// EvalTerm evaluates a term in the environment.
+func EvalTerm(t Term, env *PairEnv) (Value, error) {
+	switch x := t.(type) {
+	case ArgTerm:
+		inv := env.inv(x.Side)
+		if x.Index < 0 || x.Index >= len(inv.Args) {
+			return nil, fmt.Errorf("core: %s has no argument %d", inv.Method, x.Index)
+		}
+		return inv.Args[x.Index], nil
+	case RetTerm:
+		return env.inv(x.Side).Ret, nil
+	case ConstTerm:
+		return x.V, nil
+	case FnTerm:
+		resolver := env.S1
+		if x.State == Second {
+			resolver = env.S2
+		}
+		if resolver == nil {
+			return nil, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, x.Fn)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := EvalTerm(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		v, err := resolver(x.Fn, args)
+		if err != nil {
+			return nil, err
+		}
+		return Norm(v), nil
+	case ArithTerm:
+		l, err := EvalTerm(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalTerm(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return arith(x.Op, l, r)
+	default:
+		return nil, fmt.Errorf("core: unknown term %T", t)
+	}
+}
+
+func (env *PairEnv) inv(s Side) *Invocation {
+	if s == First {
+		return &env.Inv1
+	}
+	return &env.Inv2
+}
+
+// Eval evaluates a condition in the environment. It is the reference
+// (interpreted) commutativity check; the synthesized detectors in
+// abslock and gatekeeper are cross-validated against it.
+func Eval(c Cond, env *PairEnv) (bool, error) {
+	switch x := c.(type) {
+	case TrueCond:
+		return true, nil
+	case FalseCond:
+		return false, nil
+	case NotCond:
+		b, err := Eval(x.C, env)
+		return !b, err
+	case AndCond:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return false, nil
+		}
+		return Eval(x.R, env)
+	case OrCond:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return Eval(x.R, env)
+	case CmpCond:
+		l, err := EvalTerm(x.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalTerm(x.R, env)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case CmpEq:
+			return ValueEq(l, r), nil
+		case CmpNe:
+			return !ValueEq(l, r), nil
+		case CmpLt:
+			return valueLess(l, r)
+		case CmpGt:
+			return valueLess(r, l)
+		case CmpLe:
+			gt, err := valueLess(r, l)
+			return !gt, err
+		case CmpGe:
+			lt, err := valueLess(l, r)
+			return !lt, err
+		}
+		return false, fmt.Errorf("core: unknown comparison %v", x.Op)
+	default:
+		return false, fmt.Errorf("core: unknown condition %T", c)
+	}
+}

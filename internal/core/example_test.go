@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+
+	"commlat/internal/core"
+)
+
+// Building the paper's figure 7 accumulator specification, classifying
+// it and placing it in the lattice.
+func Example() {
+	sig := &core.ADTSig{Name: "accumulator", Methods: []core.MethodSig{
+		{Name: "inc", Params: []string{"x"}},
+		{Name: "read", HasRet: true},
+	}}
+	spec := core.NewSpec(sig)
+	spec.Set("inc", "inc", core.True())
+	spec.Set("inc", "read", core.False())
+	spec.Set("read", "read", core.True())
+
+	fmt.Println("class:", spec.Classify())
+	fmt.Println("bottom ≤ spec:", core.Bottom(sig).LE(spec))
+	// Output:
+	// class: SIMPLE
+	// bottom ≤ spec: true
+}
+
+// Evaluating a condition for a concrete pair of invocations: the set's
+// figure 2 add~contains condition, in a state where the add mutated.
+func ExampleEval() {
+	cond := core.Or(
+		core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.Eq(core.Ret1(), core.Lit(false)),
+	)
+	env := &core.PairEnv{
+		Inv1: core.NewInvocation("add", []core.Value{7}, true),      // mutated
+		Inv2: core.NewInvocation("contains", []core.Value{7}, true), // same key
+	}
+	commutes, _ := core.Eval(cond, env)
+	fmt.Println("commute:", commutes)
+	// Output:
+	// commute: false
+}
+
+// StrengthenToSimple mechanically derives figure 3 from figure 2.
+func ExampleStrengthenToSimple() {
+	sig := &core.ADTSig{Name: "set", Methods: []core.MethodSig{
+		{Name: "add", Params: []string{"x"}, HasRet: true},
+		{Name: "contains", Params: []string{"x"}, HasRet: true},
+	}}
+	precise := core.NewSpec(sig)
+	precise.Set("add", "add", core.Or(core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.And(core.Eq(core.Ret1(), core.Lit(false)), core.Eq(core.Ret2(), core.Lit(false)))))
+	precise.Set("add", "contains", core.Or(core.Ne(core.Arg1(0), core.Arg2(0)),
+		core.Eq(core.Ret1(), core.Lit(false))))
+	precise.Set("contains", "contains", core.True())
+
+	simple := core.StrengthenToSimple(precise)
+	fmt.Println(simple.Cond("add", "add"))
+	fmt.Println(simple.Cond("add", "contains"))
+	fmt.Println(simple.Cond("contains", "contains"))
+	// Output:
+	// v1[0] != v2[0]
+	// v1[0] != v2[0]
+	// true
+}
+
+// Meet and join combine lattice points.
+func ExampleSpec_Meet() {
+	sig := &core.ADTSig{Name: "t", Methods: []core.MethodSig{
+		{Name: "m", Params: []string{"x"}, HasRet: true},
+	}}
+	a := core.NewSpec(sig)
+	a.Set("m", "m", core.Ne(core.Arg1(0), core.Arg2(0)))
+	b := core.NewSpec(sig)
+	b.Set("m", "m", core.True())
+
+	fmt.Println("a ≤ b:", a.LE(b))
+	fmt.Println("meet:", a.Meet(b).Cond("m", "m"))
+	fmt.Println("join:", a.Join(b).Cond("m", "m"))
+	// Output:
+	// a ≤ b: true
+	// meet: v1[0] != v2[0]
+	// join: true
+}

@@ -1,0 +1,77 @@
+package core
+
+// Implies is a sound (but deliberately incomplete) prover for logical
+// implication a ⇒ b between commutativity conditions, used to order points
+// of the commutativity lattice (§2.4). It proves exactly the shapes the
+// paper's strengthening constructions produce:
+//
+//   - false ⇒ anything; anything ⇒ true
+//   - structural equality (up to flattening, duplicates and symmetry)
+//   - a1 ∨ a2 ⇒ b when both disjuncts imply b
+//   - a ⇒ b1 ∨ b2 when a implies some disjunct
+//   - a ⇒ b1 ∧ b2 when a implies every conjunct
+//   - a1 ∧ a2 ⇒ b when some conjunct implies b (dropping clauses, as in
+//     deriving figure 3 from figure 2)
+//   - key(x) ≠ key(y) ⇒ x ≠ y for any function key (lock coarsening,
+//     §4.2: equal elements have equal keys)
+//
+// A false result means "not proved", never "disproved"; tests back the
+// prover with exhaustive finite-domain evaluation.
+func Implies(a, b Cond) bool {
+	return implies(Simplify(a), Simplify(b))
+}
+
+func implies(a, b Cond) bool {
+	if _, ok := a.(FalseCond); ok {
+		return true
+	}
+	if _, ok := b.(TrueCond); ok {
+		return true
+	}
+	if condKey(a) == condKey(b) {
+		return true
+	}
+
+	// Disjunctive antecedent: every disjunct must imply b.
+	if ao, ok := a.(OrCond); ok {
+		return implies(ao.L, b) && implies(ao.R, b)
+	}
+	// Conjunctive consequent: a must imply every conjunct.
+	if ba, ok := b.(AndCond); ok {
+		return implies(a, ba.L) && implies(a, ba.R)
+	}
+	// Disjunctive consequent: a implies some disjunct.
+	if bo, ok := b.(OrCond); ok {
+		if implies(a, bo.L) || implies(a, bo.R) {
+			return true
+		}
+	}
+	// Conjunctive antecedent: some conjunct implies b.
+	if aa, ok := a.(AndCond); ok {
+		if implies(aa.L, b) || implies(aa.R, b) {
+			return true
+		}
+	}
+	// Keyed disequality refinement: key(x) ≠ key(y) ⇒ x ≠ y.
+	if ac, ok := a.(CmpCond); ok {
+		if bc, ok := b.(CmpCond); ok && ac.Op == CmpNe && bc.Op == CmpNe {
+			if keyedRefines(ac, bc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// keyedRefines reports whether a is b with both operands wrapped in the
+// same single-argument function (in either operand order).
+func keyedRefines(a, b CmpCond) bool {
+	lf, lok := a.L.(FnTerm)
+	rf, rok := a.R.(FnTerm)
+	if !lok || !rok || lf.Fn != rf.Fn || len(lf.Args) != 1 || len(rf.Args) != 1 {
+		return false
+	}
+	x, y := termKey(lf.Args[0]), termKey(rf.Args[0])
+	bl, br := termKey(b.L), termKey(b.R)
+	return (x == bl && y == br) || (x == br && y == bl)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImpliesBasics(t *testing.T) {
+	ne := Ne(Arg1(0), Arg2(0))
+	other := Ne(Ret1(), Arg2(0))
+	cases := []struct {
+		a, b Cond
+		want bool
+	}{
+		{False(), ne, true},
+		{ne, True(), true},
+		{ne, ne, true},
+		{And(ne, other), ne, true},             // drop conjunct
+		{ne, And(ne, other), false},            // cannot add conjunct
+		{ne, Or(ne, other), true},              // widen to disjunction
+		{Or(ne, other), ne, false},             // disjunction does not narrow
+		{Or(ne, ne), ne, true},                 // both disjuncts imply
+		{And(ne, other), And(other, ne), true}, // conjunct reordering
+		{True(), ne, false},
+		{Ne(Arg2(0), Arg1(0)), ne, true}, // operand symmetry
+	}
+	for _, c := range cases {
+		if got := Implies(c.a, c.b); got != c.want {
+			t.Errorf("Implies(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestImpliesKeyedRefinement(t *testing.T) {
+	elem := Ne(Arg1(0), Arg2(0))
+	part := Ne(Fn1("part", Arg1(0)), Fn2("part", Arg2(0)))
+	if !Implies(part, elem) {
+		t.Error("part(a) != part(b) should imply a != b")
+	}
+	if Implies(elem, part) {
+		t.Error("a != b must not imply part(a) != part(b)")
+	}
+	// Different key functions on the two sides must not refine.
+	mixed := Ne(Fn1("p", Arg1(0)), Fn2("q", Arg2(0)))
+	if Implies(mixed, elem) {
+		t.Error("mixed key functions should not be treated as refinement")
+	}
+}
+
+// TestImpliesSoundOnRandomConds backs the syntactic prover with exhaustive
+// evaluation: whenever Implies says yes, no environment may satisfy a but
+// not b.
+func TestImpliesSoundOnRandomConds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	proved := 0
+	for i := 0; i < 4000; i++ {
+		a := randCond(r, 2)
+		b := randCond(r, 2)
+		if !Implies(a, b) {
+			continue
+		}
+		proved++
+		for v1 := int64(0); v1 < 3; v1++ {
+			for r1 := int64(0); r1 < 3; r1++ {
+				for v2 := int64(0); v2 < 3; v2++ {
+					for r2 := int64(0); r2 < 3; r2++ {
+						env := &PairEnv{
+							Inv1: Invocation{Args: []Value{v1}, Ret: r1},
+							Inv2: Invocation{Args: []Value{v2}, Ret: r2},
+						}
+						av, err1 := Eval(a, env)
+						bv, err2 := Eval(b, env)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("eval error: %v/%v", err1, err2)
+						}
+						if av && !bv {
+							t.Fatalf("unsound: Implies(%s, %s) but env %v satisfies only antecedent", a, b, env)
+						}
+					}
+				}
+			}
+		}
+	}
+	if proved == 0 {
+		t.Error("prover never proved anything on random conditions; test is vacuous")
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import "fmt"
+
+// Model is an executable reference implementation of an ADT's abstract
+// state. It exists so that commutativity specifications can be validated
+// by brute force: Definition 1 commutativity is decided by actually
+// running both orders of a pair of invocations and comparing returns and
+// abstract states. Every specification shipped in this repository is
+// checked against a Model in its package's tests.
+type Model interface {
+	// Clone returns an independent deep copy of the model.
+	Clone() Model
+	// Apply invokes a method and returns its result (nil for void).
+	Apply(method string, args []Value) (Value, error)
+	// StateKey returns a canonical encoding of the *abstract* state, so
+	// that two models represent the same abstract state iff their keys
+	// are equal (e.g. the sorted element list of a set, regardless of
+	// concrete representation).
+	StateKey() string
+	// StateFn evaluates a named helper function (rep, rank, loser, dist,
+	// part, ...) against the model's current abstract state.
+	StateFn(fn string, args []Value) (Value, error)
+}
+
+// Call names a method invocation to perform against a model.
+type Call struct {
+	Method string
+	Args   []Value
+}
+
+func (c Call) String() string { return fmt.Sprintf("%s(%v)", c.Method, c.Args) }
+
+// Commutes decides Definition 1 directly: starting from state m, it runs
+// c1;c2 and c2;c1 on clones and reports whether both orders produce the
+// same return values and the same abstract state.
+func Commutes(m Model, c1, c2 Call) (bool, error) {
+	a := m.Clone()
+	r1a, err := a.Apply(c1.Method, c1.Args)
+	if err != nil {
+		return false, err
+	}
+	r2a, err := a.Apply(c2.Method, c2.Args)
+	if err != nil {
+		return false, err
+	}
+	b := m.Clone()
+	r2b, err := b.Apply(c2.Method, c2.Args)
+	if err != nil {
+		return false, err
+	}
+	r1b, err := b.Apply(c1.Method, c1.Args)
+	if err != nil {
+		return false, err
+	}
+	return ValueEq(r1a, r1b) && ValueEq(r2a, r2b) && a.StateKey() == b.StateKey(), nil
+}
+
+// Violation describes a state and invocation pair for which a condition
+// claimed commutativity but executing both orders disagreed.
+type Violation struct {
+	State  string
+	C1, C2 Call
+	R1, R2 Value
+	Cond   Cond
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("state %s: %s/%v then %s/%v satisfied %q but does not commute",
+		v.State, v.C1, v.R1, v.C2, v.R2, v.Cond)
+}
+
+// CheckCondSound validates a specification against a model by brute
+// force: for every provided start state and every pair of candidate
+// calls, if the spec's condition evaluates true for the back-to-back
+// execution then the two invocations must commute per Definition 1.
+// It returns all violations found (nil means the spec is sound on the
+// explored space).
+func CheckCondSound(spec *Spec, states []Model, calls []Call) ([]Violation, error) {
+	var bad []Violation
+	for _, st := range states {
+		for _, c1 := range calls {
+			for _, c2 := range calls {
+				v, err := checkOnePair(spec, st, c1, c2)
+				if err != nil {
+					return bad, err
+				}
+				if v != nil {
+					bad = append(bad, *v)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+func checkOnePair(spec *Spec, st Model, c1, c2 Call) (*Violation, error) {
+	s1 := st.Clone()
+	pre1 := st.Clone()
+	r1, err := s1.Apply(c1.Method, c1.Args)
+	if err != nil {
+		return nil, err
+	}
+	pre2 := s1.Clone()
+	r2, err := s1.Apply(c2.Method, c2.Args)
+	if err != nil {
+		return nil, err
+	}
+	cond := spec.Cond(c1.Method, c2.Method)
+	env := &PairEnv{
+		Inv1: NewInvocation(c1.Method, c1.Args, r1),
+		Inv2: NewInvocation(c2.Method, c2.Args, r2),
+		S1:   pre1.StateFn,
+		S2:   pre2.StateFn,
+	}
+	ok, err := Eval(cond, env)
+	if err != nil {
+		return nil, fmt.Errorf("evaluating %s for %s,%s: %w", cond, c1, c2, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	comm, err := Commutes(st, c1, c2)
+	if err != nil {
+		return nil, err
+	}
+	if !comm {
+		return &Violation{State: st.StateKey(), C1: c1, C2: c2, R1: r1, R2: r2, Cond: cond}, nil
+	}
+	return nil, nil
+}
+
+// Step is one invocation of a two-transaction history used by
+// CheckSerializable.
+type Step struct {
+	Tx   int // 0 or 1
+	Call Call
+}
+
+// SerializabilityReport is the outcome of replaying a history under a
+// specification, mirroring Theorem 2 of the paper.
+type SerializabilityReport struct {
+	// CondsHeld is true when every cross-transaction pair of invocations
+	// satisfied its commutativity condition (evaluated with s1/s2 bound
+	// to each invocation's actual pre-state, as the runtime would).
+	CondsHeld bool
+	// SerialOK is true when some serial order (tx1;tx0 or tx0;tx1)
+	// reproduces every recorded return value and the interleaved final
+	// abstract state. Theorem 2 promises SerialOK whenever CondsHeld.
+	SerialOK bool
+}
+
+// CheckSerializable replays an interleaved two-transaction history on the
+// model, evaluates all cross-transaction commutativity conditions, and
+// checks whether a serial order is equivalent. Tests use it to validate
+// that specifications are serializability-sound (Theorem 2): whenever
+// CondsHeld, SerialOK must also hold.
+func CheckSerializable(initial Model, spec *Spec, history []Step) (SerializabilityReport, error) {
+	var rep SerializabilityReport
+	type record struct {
+		step Step
+		pre  Model
+		ret  Value
+	}
+	m := initial.Clone()
+	recs := make([]record, 0, len(history))
+	for _, st := range history {
+		pre := m.Clone()
+		ret, err := m.Apply(st.Call.Method, st.Call.Args)
+		if err != nil {
+			return rep, err
+		}
+		recs = append(recs, record{step: st, pre: pre, ret: ret})
+	}
+	finalKey := m.StateKey()
+
+	rep.CondsHeld = true
+	for i := range recs {
+		for j := i + 1; j < len(recs); j++ {
+			if recs[i].step.Tx == recs[j].step.Tx {
+				continue
+			}
+			env := &PairEnv{
+				Inv1: NewInvocation(recs[i].step.Call.Method, recs[i].step.Call.Args, recs[i].ret),
+				Inv2: NewInvocation(recs[j].step.Call.Method, recs[j].step.Call.Args, recs[j].ret),
+				S1:   recs[i].pre.StateFn,
+				S2:   recs[j].pre.StateFn,
+			}
+			ok, err := Eval(spec.Cond(recs[i].step.Call.Method, recs[j].step.Call.Method), env)
+			if err != nil {
+				return rep, err
+			}
+			if !ok {
+				rep.CondsHeld = false
+			}
+		}
+	}
+
+	trySerial := func(firstTx int) (bool, error) {
+		m := initial.Clone()
+		for pass := 0; pass < 2; pass++ {
+			tx := firstTx
+			if pass == 1 {
+				tx = 1 - firstTx
+			}
+			for _, r := range recs {
+				if r.step.Tx != tx {
+					continue
+				}
+				ret, err := m.Apply(r.step.Call.Method, r.step.Call.Args)
+				if err != nil {
+					return false, err
+				}
+				if !ValueEq(ret, r.ret) {
+					return false, nil
+				}
+			}
+		}
+		return m.StateKey() == finalKey, nil
+	}
+	for _, first := range []int{1, 0} {
+		ok, err := trySerial(first)
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			rep.SerialOK = true
+			break
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// setModel is an executable abstract set over small ints, the reference
+// model used to brute-force-validate the set specifications.
+type setModel struct {
+	elems map[int64]bool
+}
+
+func newSetModel(vals ...int64) *setModel {
+	m := &setModel{elems: map[int64]bool{}}
+	for _, v := range vals {
+		m.elems[v] = true
+	}
+	return m
+}
+
+func (m *setModel) Clone() Model {
+	c := newSetModel()
+	for k := range m.elems {
+		c.elems[k] = true
+	}
+	return c
+}
+
+func (m *setModel) Apply(method string, args []Value) (Value, error) {
+	x, ok := Norm(args[0]).(int64)
+	if !ok {
+		return nil, fmt.Errorf("setModel: bad arg %v", args[0])
+	}
+	switch method {
+	case "add":
+		if m.elems[x] {
+			return false, nil
+		}
+		m.elems[x] = true
+		return true, nil
+	case "remove":
+		if !m.elems[x] {
+			return false, nil
+		}
+		delete(m.elems, x)
+		return true, nil
+	case "contains":
+		return m.elems[x], nil
+	default:
+		return nil, fmt.Errorf("setModel: unknown method %s", method)
+	}
+}
+
+func (m *setModel) StateKey() string {
+	keys := make([]int64, 0, len(m.elems))
+	for k := range m.elems {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return fmt.Sprint(keys)
+}
+
+func (m *setModel) StateFn(fn string, args []Value) (Value, error) {
+	switch fn {
+	case "part":
+		return Norm(args[0]).(int64) % 2, nil
+	default:
+		return nil, fmt.Errorf("setModel: unknown fn %s", fn)
+	}
+}
+
+func setStates() []Model {
+	return []Model{newSetModel(), newSetModel(1), newSetModel(1, 2), newSetModel(2, 3)}
+}
+
+func setCalls() []Call {
+	var calls []Call
+	for _, m := range []string{"add", "remove", "contains"} {
+		for v := int64(1); v <= 3; v++ {
+			calls = append(calls, Call{Method: m, Args: []Value{v}})
+		}
+	}
+	return calls
+}
+
+func TestPreciseSetSpecSound(t *testing.T) {
+	bad, err := CheckCondSound(preciseSetSpec(), setStates(), setCalls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestRWSetSpecSound(t *testing.T) {
+	bad, err := CheckCondSound(rwSetSpec(), setStates(), setCalls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestPartitionedSetSpecSound(t *testing.T) {
+	part, err := rwSetSpec().PartitionSpec("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CheckCondSound(part, setStates(), setCalls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestBogusSpecCaught ensures the checker has teeth: claiming that add
+// always commutes with contains must produce violations.
+func TestBogusSpecCaught(t *testing.T) {
+	s := rwSetSpec().Clone()
+	s.Set("add", "contains", True())
+	bad, err := CheckCondSound(s, setStates(), setCalls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Error("checker failed to catch an unsound condition")
+	}
+}
+
+func TestCommutesDirect(t *testing.T) {
+	m := newSetModel(1)
+	// contains(1) and contains(2) always commute.
+	ok, err := Commutes(m, Call{"contains", []Value{int64(1)}}, Call{"contains", []Value{int64(2)}})
+	if err != nil || !ok {
+		t.Errorf("contains/contains should commute: %v %v", ok, err)
+	}
+	// add(2) and contains(2) do not commute on a set without 2.
+	ok, err = Commutes(m, Call{"add", []Value{int64(2)}}, Call{"contains", []Value{int64(2)}})
+	if err != nil || ok {
+		t.Errorf("add(2)/contains(2) should not commute: %v %v", ok, err)
+	}
+	// add(1) and contains(1) DO commute when 1 is already present.
+	ok, err = Commutes(m, Call{"add", []Value{int64(1)}}, Call{"contains", []Value{int64(1)}})
+	if err != nil || !ok {
+		t.Errorf("non-mutating add should commute with contains: %v %v", ok, err)
+	}
+}
+
+// TestSerializableRandomHistories is the Theorem 2 property test: on
+// random interleaved two-transaction histories, whenever every
+// cross-transaction pair satisfies its commutativity condition, a serial
+// order must be equivalent.
+func TestSerializableRandomHistories(t *testing.T) {
+	spec := preciseSetSpec()
+	r := rand.New(rand.NewSource(11))
+	methods := []string{"add", "remove", "contains"}
+	held, total := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		n := 2 + r.Intn(5)
+		hist := make([]Step, n)
+		for i := range hist {
+			hist[i] = Step{
+				Tx:   r.Intn(2),
+				Call: Call{Method: methods[r.Intn(3)], Args: []Value{int64(1 + r.Intn(3))}},
+			}
+		}
+		initial := newSetModel()
+		for v := int64(1); v <= 3; v++ {
+			if r.Intn(2) == 0 {
+				initial.elems[v] = true
+			}
+		}
+		rep, err := CheckSerializable(initial, spec, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if rep.CondsHeld {
+			held++
+			if !rep.SerialOK {
+				t.Fatalf("conditions held but history not serializable: %+v from %s", hist, initial.StateKey())
+			}
+		}
+	}
+	if held == 0 {
+		t.Error("no history ever satisfied all conditions; test is vacuous")
+	}
+	t.Logf("histories: %d total, %d with all conditions held", total, held)
+}
+
+// TestSerializableDetectsConflict checks that a history with a genuine
+// conflict is reported as CondsHeld == false.
+func TestSerializableDetectsConflict(t *testing.T) {
+	spec := preciseSetSpec()
+	hist := []Step{
+		{Tx: 0, Call: Call{"add", []Value{int64(1)}}},      // mutates
+		{Tx: 1, Call: Call{"contains", []Value{int64(1)}}}, // observes the mutation
+	}
+	rep, err := CheckSerializable(newSetModel(), spec, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CondsHeld {
+		t.Error("mutating add vs contains on same key should violate the condition")
+	}
+}
+
+func TestNewInvocationNormalizes(t *testing.T) {
+	inv := NewInvocation("m", []Value{int32(4), float32(0.5)}, uint8(9))
+	if inv.Args[0] != int64(4) || inv.Args[1] != 0.5 || inv.Ret != int64(9) {
+		t.Errorf("NewInvocation did not normalize: %+v", inv)
+	}
+}
+
+func TestEvalTermErrors(t *testing.T) {
+	env := &PairEnv{Inv1: Invocation{Method: "m", Args: nil}, Inv2: Invocation{}}
+	if _, err := EvalTerm(Arg1(0), env); err == nil {
+		t.Error("out-of-range argument should error")
+	}
+	if _, err := EvalTerm(Fn1("f"), env); err == nil {
+		t.Error("missing state resolver should error")
+	}
+	if _, err := Eval(Lt(Lit("a"), Lit(1)), env); err == nil {
+		t.Error("ordering strings should error")
+	}
+}
+
+func TestEvalFnRouting(t *testing.T) {
+	env := &PairEnv{
+		Inv1: NewInvocation("m1", []Value{3}, nil),
+		Inv2: NewInvocation("m2", []Value{4}, nil),
+		S1:   func(fn string, args []Value) (Value, error) { return args[0].(int64) + 100, nil },
+		S2:   func(fn string, args []Value) (Value, error) { return args[0].(int64) + 200, nil },
+	}
+	v, err := EvalTerm(Fn1("f", Arg1(0)), env)
+	if err != nil || v != int64(103) {
+		t.Errorf("Fn1 routing: %v %v", v, err)
+	}
+	v, err = EvalTerm(Fn2("f", Arg2(0)), env)
+	if err != nil || v != int64(204) {
+		t.Errorf("Fn2 routing: %v %v", v, err)
+	}
+	v, err = EvalTerm(Add(Fn1("f", Arg1(0)), Lit(1)), env)
+	if err != nil || v != int64(104) {
+		t.Errorf("arith over fn: %v %v", v, err)
+	}
+}

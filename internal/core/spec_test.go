@@ -1,0 +1,269 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// setSig is the test fixture ADT: the set of figures 2 and 3.
+func setSig() *ADTSig {
+	return &ADTSig{
+		Name: "set",
+		Methods: []MethodSig{
+			{Name: "add", Params: []string{"x"}, HasRet: true},
+			{Name: "remove", Params: []string{"x"}, HasRet: true},
+			{Name: "contains", Params: []string{"x"}, HasRet: true},
+		},
+	}
+}
+
+// preciseSetSpec mirrors figure 2.
+func preciseSetSpec() *Spec {
+	neOrBothFalse := Or(Ne(Arg1(0), Arg2(0)), And(Eq(Ret1(), Lit(false)), Eq(Ret2(), Lit(false))))
+	neOrR1False := Or(Ne(Arg1(0), Arg2(0)), Eq(Ret1(), Lit(false)))
+	s := NewSpec(setSig())
+	s.Set("add", "add", neOrBothFalse)
+	s.Set("add", "remove", neOrBothFalse)
+	s.Set("add", "contains", neOrR1False)
+	s.Set("remove", "remove", neOrBothFalse)
+	s.Set("remove", "contains", neOrR1False)
+	s.Set("contains", "contains", True())
+	return s
+}
+
+// rwSetSpec mirrors figure 3 (the strengthened, SIMPLE spec).
+func rwSetSpec() *Spec {
+	ne := Ne(Arg1(0), Arg2(0))
+	s := NewSpec(setSig())
+	s.Set("add", "add", ne)
+	s.Set("add", "remove", ne)
+	s.Set("add", "contains", ne)
+	s.Set("remove", "remove", ne)
+	s.Set("remove", "contains", ne)
+	s.Set("contains", "contains", True())
+	return s
+}
+
+func TestSpecDefaultsFalse(t *testing.T) {
+	s := NewSpec(setSig())
+	if _, ok := s.Cond("add", "remove").(FalseCond); !ok {
+		t.Error("unset pair should default to false")
+	}
+}
+
+func TestSpecSymmetricLookup(t *testing.T) {
+	s := NewSpec(setSig())
+	s.Set("add", "contains", Or(Ne(Arg1(0), Arg2(0)), Eq(Ret1(), Lit(false))))
+	// Looking up (contains, add): the roles swap, so it is now r2 (the
+	// add's return) that must be false.
+	got := s.Cond("contains", "add")
+	want := Or(Ne(Arg2(0), Arg1(0)), Eq(Ret2(), Lit(false)))
+	if !CondEqual(got, want) {
+		t.Errorf("swapped lookup = %s, want %s", got, want)
+	}
+}
+
+func TestSpecSelfPairSwapLookup(t *testing.T) {
+	// An orientation-sensitive self-pair condition (like union-find's
+	// union~union) is stored as-is; lookups use the stored orientation.
+	s := NewSpec(setSig())
+	c := Or(Ne(Arg1(0), Arg2(0)), Eq(Ret1(), Lit(false)))
+	s.Set("add", "add", c)
+	if !CondEqual(s.Cond("add", "add"), c) {
+		t.Errorf("self-pair condition mangled: %s", s.Cond("add", "add"))
+	}
+}
+
+func TestSpecSetUnknownMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown method should panic")
+		}
+	}()
+	NewSpec(setSig()).Set("add", "nope", True())
+}
+
+func TestSpecClassify(t *testing.T) {
+	if got := preciseSetSpec().Classify(); got != ClassOnline {
+		t.Errorf("precise set spec class = %v, want ONLINE-CHECKABLE", got)
+	}
+	if got := rwSetSpec().Classify(); got != ClassSimple {
+		t.Errorf("rw set spec class = %v, want SIMPLE", got)
+	}
+	if got := Bottom(setSig()).Classify(); got != ClassSimple {
+		t.Errorf("bottom spec class = %v, want SIMPLE", got)
+	}
+}
+
+func TestLatticeOrder(t *testing.T) {
+	precise := preciseSetSpec()
+	rw := rwSetSpec()
+	bot := Bottom(setSig())
+	if !rw.LE(precise) {
+		t.Error("figure 3 should be ≤ figure 2 in the lattice")
+	}
+	if precise.LE(rw) {
+		t.Error("figure 2 should not be ≤ figure 3")
+	}
+	if !bot.LE(rw) || !bot.LE(precise) {
+		t.Error("⊥ should be below everything")
+	}
+	if !precise.LE(precise) {
+		t.Error("LE should be reflexive")
+	}
+}
+
+func TestLatticeMeetJoin(t *testing.T) {
+	precise := preciseSetSpec()
+	rw := rwSetSpec()
+	meet := precise.Meet(rw)
+	join := precise.Join(rw)
+	// a ≤ b ⟺ a ⊓ b = a and a ⊔ b = b.
+	for _, p := range precise.Pairs() {
+		m1, m2 := p[0], p[1]
+		if !CondEqual(meet.Cond(m1, m2), rw.Cond(m1, m2)) {
+			t.Errorf("meet(%s,%s) = %s, want %s", m1, m2, meet.Cond(m1, m2), rw.Cond(m1, m2))
+		}
+		if !CondEqual(join.Cond(m1, m2), precise.Cond(m1, m2)) {
+			t.Errorf("join(%s,%s) = %s, want %s", m1, m2, join.Cond(m1, m2), precise.Cond(m1, m2))
+		}
+	}
+}
+
+func TestLatticeMeetJoinLaws(t *testing.T) {
+	a, b := preciseSetSpec(), rwSetSpec()
+	// Commutativity of meet/join up to condition equality.
+	ab, ba := a.Meet(b), b.Meet(a)
+	for _, p := range a.Pairs() {
+		if !CondEqual(ab.Cond(p[0], p[1]), ba.Cond(p[0], p[1])) {
+			t.Errorf("meet not commutative at %v", p)
+		}
+	}
+	// Absorption: a ⊔ (a ⊓ b) = a.
+	abs := a.Join(a.Meet(b))
+	for _, p := range a.Pairs() {
+		if !Implies(abs.Cond(p[0], p[1]), a.Cond(p[0], p[1])) || !Implies(a.Cond(p[0], p[1]), abs.Cond(p[0], p[1])) {
+			t.Errorf("absorption failed at %v: %s vs %s", p, abs.Cond(p[0], p[1]), a.Cond(p[0], p[1]))
+		}
+	}
+	// Meet and join results are valid bounds.
+	if !ab.LE(a) || !ab.LE(b) {
+		t.Error("meet is not a lower bound")
+	}
+	aj := a.Join(b)
+	if !a.LE(aj) || !b.LE(aj) {
+		t.Error("join is not an upper bound")
+	}
+}
+
+func TestPartitionSpec(t *testing.T) {
+	rw := rwSetSpec()
+	part, err := rw.PartitionSpec("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Pure["part"] {
+		t.Error("partition key should be registered pure")
+	}
+	// Partition spec is below the element spec.
+	if !part.LE(rw) {
+		t.Error("partition spec should be ≤ element spec")
+	}
+	if rw.LE(part) {
+		t.Error("element spec should not be ≤ partition spec")
+	}
+	// Its conditions are keyed-SIMPLE.
+	c := part.Cond("add", "add")
+	if _, ok := AsSimple(c, part.Pure); !ok {
+		t.Errorf("partitioned condition should be keyed-SIMPLE: %s", c)
+	}
+	// true / false pairs survive unchanged.
+	if _, ok := part.Cond("contains", "contains").(TrueCond); !ok {
+		t.Error("true condition should stay true under partitioning")
+	}
+}
+
+func TestPartitionSpecRejectsNonSimple(t *testing.T) {
+	if _, err := preciseSetSpec().PartitionSpec("part"); err == nil {
+		t.Error("partitioning a non-SIMPLE spec should fail")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := rwSetSpec().String()
+	if !strings.Contains(s, "add ~ remove") || !strings.Contains(s, "v1[0] != v2[0]") {
+		t.Errorf("unexpected spec rendering:\n%s", s)
+	}
+}
+
+func TestSpecPairsCount(t *testing.T) {
+	// 3 methods -> 6 unordered pairs including self-pairs.
+	if got := len(preciseSetSpec().Pairs()); got != 6 {
+		t.Errorf("Pairs() = %d, want 6", got)
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	a := rwSetSpec()
+	b := a.Clone()
+	b.Set("add", "add", False())
+	if _, ok := a.Cond("add", "add").(FalseCond); ok {
+		t.Error("Clone should not share condition storage")
+	}
+}
+
+func TestDirectedOverrideSurvivesLattice(t *testing.T) {
+	// A spec with a directed (remove,nearest)-style override must keep
+	// both directions through Meet/Join/Clone.
+	sig := &ADTSig{Name: "d", Methods: []MethodSig{
+		{Name: "a", Params: []string{"x"}, HasRet: true},
+		{Name: "b", Params: []string{"x"}, HasRet: true},
+	}}
+	s := NewSpec(sig)
+	s.Set("a", "a", True())
+	s.Set("b", "b", True())
+	s.Set("a", "b", Ne(Arg1(0), Arg2(0)))
+	s.Set("b", "a", Or(Ne(Arg1(0), Arg2(0)), Eq(Ret1(), Lit(false)))) // directed override
+	if CondEqual(s.Cond("b", "a"), SwapSides(s.Cond("a", "b"))) {
+		t.Fatal("fixture is not actually directed")
+	}
+	for name, derived := range map[string]*Spec{
+		"clone": s.Clone(),
+		"meet":  s.Meet(s),
+		"join":  s.Join(s),
+	} {
+		if !CondEqual(derived.Cond("b", "a"), s.Cond("b", "a")) {
+			t.Errorf("%s lost the directed override: %s", name, derived.Cond("b", "a"))
+		}
+		if !CondEqual(derived.Cond("a", "b"), s.Cond("a", "b")) {
+			t.Errorf("%s mangled the forward direction: %s", name, derived.Cond("a", "b"))
+		}
+	}
+}
+
+func TestNotNormalizationFeedsClassify(t *testing.T) {
+	// !(a = b) simplifies to a ≠ b and is therefore SIMPLE.
+	c := Not(Eq(Arg1(0), Arg2(0)))
+	if Classify(c) != ClassSimple {
+		t.Errorf("Classify(%s) = %v, want SIMPLE", c, Classify(c))
+	}
+	// Double negation cancels.
+	if Classify(Not(Not(Ne(Arg1(0), Arg2(0))))) != ClassSimple {
+		t.Error("double negation should classify SIMPLE")
+	}
+}
+
+func TestOrAbsorption(t *testing.T) {
+	ne := Ne(Arg1(0), Arg2(0))
+	other := Eq(Ret1(), Lit(false))
+	// a ∨ (a ∧ b) = a.
+	got := Simplify(Or(ne, And(ne, other)))
+	if !CondEqual(got, ne) {
+		t.Errorf("Or absorption: %s", got)
+	}
+	// (a ∧ b) ∨ a = a, regardless of order.
+	got = Simplify(Or(And(other, ne), ne))
+	if !CondEqual(got, ne) {
+		t.Errorf("Or absorption (reversed): %s", got)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// SubstTerms returns c with every term whose canonical string appears in
+// sub replaced by a constant holding the recorded value. Gatekeepers use
+// this to close a condition over values they computed earlier (logged
+// primitive-function results, pre-evaluated state functions) before
+// handing it to Eval.
+func SubstTerms(c Cond, sub map[string]Value) Cond {
+	if len(sub) == 0 {
+		return c
+	}
+	switch x := c.(type) {
+	case TrueCond, FalseCond:
+		return x
+	case NotCond:
+		return NotCond{C: SubstTerms(x.C, sub)}
+	case AndCond:
+		return AndCond{L: SubstTerms(x.L, sub), R: SubstTerms(x.R, sub)}
+	case OrCond:
+		return OrCond{L: SubstTerms(x.L, sub), R: SubstTerms(x.R, sub)}
+	case CmpCond:
+		return CmpCond{Op: x.Op, L: substTerm(x.L, sub), R: substTerm(x.R, sub)}
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+func substTerm(t Term, sub map[string]Value) Term {
+	if v, ok := sub[termKey(t)]; ok {
+		return ConstTerm{V: v}
+	}
+	switch x := t.(type) {
+	case FnTerm:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substTerm(a, sub)
+		}
+		return FnTerm{Fn: x.Fn, State: x.State, Args: args}
+	case ArithTerm:
+		return ArithTerm{Op: x.Op, L: substTerm(x.L, sub), R: substTerm(x.R, sub)}
+	default:
+		return t
+	}
+}
+
+// TermKey exposes the canonical string key of a term, the key space used
+// by SubstTerms.
+func TermKey(t Term) string { return termKey(t) }

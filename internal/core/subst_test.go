@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestSubstTermsReplacesLogged(t *testing.T) {
+	// dist(s1; v1, r1) replaced by a logged constant.
+	ft := Fn1("dist", Arg1(0), Ret1())
+	c := Gt(Fn2("dist", Arg1(0), Arg2(0)), ft)
+	sub := map[string]Value{TermKey(ft): float64(4)}
+	got := SubstTerms(c, sub)
+	env := &PairEnv{
+		Inv1: NewInvocation("nearest", []Value{int64(0)}, int64(9)),
+		Inv2: NewInvocation("add", []Value{int64(5)}, true),
+		S2: func(fn string, args []Value) (Value, error) {
+			// Live dist: |a-b| squared-ish; here simply 25.
+			return float64(25), nil
+		},
+	}
+	ok, err := Eval(got, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("25 > 4 should hold after substitution")
+	}
+	// Without substitution the S1 resolver is missing and Eval errors.
+	if _, err := Eval(c, env); err == nil {
+		t.Error("unsubstituted condition should need an s1 resolver")
+	}
+}
+
+func TestSubstTermsNested(t *testing.T) {
+	inner := Fn1("g", Arg1(0))
+	outer := Fn2("f", inner)
+	c := Eq(outer, Ret2())
+	// Substituting the inner term leaves the outer function live.
+	got := SubstTerms(c, map[string]Value{TermKey(inner): int64(7)})
+	env := &PairEnv{
+		Inv1: NewInvocation("m", []Value{int64(1)}, nil),
+		Inv2: NewInvocation("m", nil, int64(107)),
+		S2: func(fn string, args []Value) (Value, error) {
+			return args[0].(int64) + 100, nil
+		},
+	}
+	ok, err := Eval(got, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("f(g=7)=107 should equal r2")
+	}
+}
+
+func TestSubstTermsEmptyNoop(t *testing.T) {
+	c := Ne(Arg1(0), Arg2(0))
+	if got := SubstTerms(c, nil); !CondEqual(got, c) {
+		t.Error("empty substitution changed the condition")
+	}
+}
+
+func TestSubstTermsArith(t *testing.T) {
+	ft := Fn1("f", Arg1(0))
+	c := Lt(Add(ft, Lit(1)), Lit(10))
+	got := SubstTerms(c, map[string]Value{TermKey(ft): int64(3)})
+	env := &PairEnv{
+		Inv1: NewInvocation("m", []Value{int64(0)}, nil),
+		Inv2: NewInvocation("m", nil, nil),
+	}
+	ok, err := Eval(got, env)
+	if err != nil || !ok {
+		t.Errorf("3+1 < 10 should hold: %v %v", ok, err)
+	}
+}
+
+func TestSubstTermsThroughConnectives(t *testing.T) {
+	ft := Fn1("f", Arg1(0))
+	c := Not(Or(Eq(ft, Lit(1)), And(Ne(ft, Lit(2)), Eq(ft, Lit(3)))))
+	got := SubstTerms(c, map[string]Value{TermKey(ft): int64(5)})
+	env := &PairEnv{
+		Inv1: NewInvocation("m", []Value{int64(0)}, nil),
+		Inv2: NewInvocation("m", nil, nil),
+	}
+	ok, err := Eval(got, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("!(5=1 || (5!=2 && 5=3)) should hold")
+	}
+}

@@ -1,0 +1,143 @@
+// Package core implements the commutativity-condition framework of
+// "Exploiting the Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+// A commutativity condition is a predicate over a pair of method
+// invocations — their arguments, return values, and functions of the
+// abstract states they were invoked in — that, when true, guarantees the
+// two invocations can be reordered in any C-equivalent history (Definition
+// 3 of the paper). Conditions are represented as ASTs in the paper's logic
+// L1 (figure 1) so that the rest of the system can classify them into the
+// sub-logics L2 (SIMPLE) and L3 (ONLINE-CHECKABLE), arrange specifications
+// into the commutativity lattice, and synthesize conflict detectors.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is the dynamic value domain of the logic: method arguments, return
+// values, constants and state-function results. Supported kinds are
+// booleans, integers (normalized to int64), floats (normalized to float64),
+// strings, nil (for methods without a meaningful return), and any
+// comparable user type (compared with ==).
+type Value any
+
+// Norm normalizes a Value so that equality and ordering behave uniformly:
+// every integer kind becomes int64 and float32 becomes float64.
+func Norm(v Value) Value {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int8:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	case uint:
+		return int64(x)
+	case uint8:
+		return int64(x)
+	case uint16:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+// ValueEq reports whether two values are equal after normalization.
+// An int64 and a float64 compare equal when they denote the same number,
+// mirroring the arithmetic-friendly equality of L1.
+func ValueEq(a, b Value) bool {
+	a, b = Norm(a), Norm(b)
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y
+		case float64:
+			return float64(x) == y
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return x == float64(y)
+		case float64:
+			return x == y
+		}
+	}
+	return a == b
+}
+
+// valueLess orders two numeric values; it returns an error for
+// non-numeric operands since L1 only defines < and > on arithmetic terms.
+func valueLess(a, b Value) (bool, error) {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return false, fmt.Errorf("core: ordering undefined for %T and %T", a, b)
+	}
+	return af < bf, nil
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := Norm(v).(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func toBool(v Value) (bool, bool) {
+	b, ok := v.(bool)
+	return b, ok
+}
+
+// arith applies an arithmetic operator to two numeric values. Integer
+// operands stay integral except for division, which is performed in
+// floating point to avoid surprising truncation in distance computations.
+func arith(op ArithOp, a, b Value) (Value, error) {
+	ai, aInt := Norm(a).(int64)
+	bi, bInt := Norm(b).(int64)
+	if aInt && bInt && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return ai + bi, nil
+		case OpSub:
+			return ai - bi, nil
+		case OpMul:
+			return ai * bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("core: arithmetic undefined for %T and %T", a, b)
+	}
+	switch op {
+	case OpAdd:
+		return af + bf, nil
+	case OpSub:
+		return af - bf, nil
+	case OpMul:
+		return af * bf, nil
+	case OpDiv:
+		if bf == 0 {
+			return math.Inf(1), nil
+		}
+		return af / bf, nil
+	}
+	return nil, fmt.Errorf("core: unknown arithmetic op %v", op)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormIntegers(t *testing.T) {
+	cases := []Value{int(7), int8(7), int16(7), int32(7), int64(7), uint(7), uint8(7), uint16(7), uint32(7), uint64(7)}
+	for _, c := range cases {
+		if got := Norm(c); got != int64(7) {
+			t.Errorf("Norm(%T %v) = %v (%T), want int64 7", c, c, got, got)
+		}
+	}
+}
+
+func TestNormFloats(t *testing.T) {
+	if got := Norm(float32(1.5)); got != float64(1.5) {
+		t.Errorf("Norm(float32 1.5) = %v", got)
+	}
+	if got := Norm(2.25); got != 2.25 {
+		t.Errorf("Norm(float64) changed value: %v", got)
+	}
+}
+
+func TestNormPassthrough(t *testing.T) {
+	if got := Norm("abc"); got != "abc" {
+		t.Errorf("Norm(string) = %v", got)
+	}
+	if got := Norm(true); got != true {
+		t.Errorf("Norm(bool) = %v", got)
+	}
+	if got := Norm(nil); got != nil {
+		t.Errorf("Norm(nil) = %v", got)
+	}
+}
+
+func TestValueEq(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{1, 1, true},
+		{1, 2, false},
+		{int8(3), uint64(3), true},
+		{1, 1.0, true},
+		{1.5, 1.5, true},
+		{1.5, 1, false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{true, true, true},
+		{true, false, false},
+		{nil, nil, true},
+		{nil, 0, false},
+		{"1", 1, false},
+	}
+	for _, c := range cases {
+		if got := ValueEq(c.a, c.b); got != c.want {
+			t.Errorf("ValueEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	lt, err := valueLess(1, 2.5)
+	if err != nil || !lt {
+		t.Errorf("valueLess(1, 2.5) = %v, %v", lt, err)
+	}
+	lt, err = valueLess(3, 3)
+	if err != nil || lt {
+		t.Errorf("valueLess(3, 3) = %v, %v", lt, err)
+	}
+	if _, err = valueLess("a", 1); err == nil {
+		t.Error("valueLess on string should error")
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b Value
+		want Value
+	}{
+		{OpAdd, 2, 3, int64(5)},
+		{OpSub, 2, 3, int64(-1)},
+		{OpMul, 2, 3, int64(6)},
+		{OpAdd, 2.5, 3, 5.5},
+		{OpDiv, 7, 2, 3.5},
+		{OpMul, 2.0, 3.0, 6.0},
+	}
+	for _, c := range cases {
+		got, err := arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("arith(%v, %v, %v): %v", c.op, c.a, c.b, err)
+		}
+		if !ValueEq(got, c.want) {
+			t.Errorf("arith(%v, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithDivByZero(t *testing.T) {
+	got, err := arith(OpDiv, 1, 0)
+	if err != nil {
+		t.Fatalf("div by zero errored: %v", err)
+	}
+	if !math.IsInf(got.(float64), 1) {
+		t.Errorf("1/0 = %v, want +Inf", got)
+	}
+}
+
+func TestArithNonNumeric(t *testing.T) {
+	if _, err := arith(OpAdd, "a", 1); err == nil {
+		t.Error("arith on string should error")
+	}
+}

@@ -1,0 +1,128 @@
+// Package engine provides the speculative-execution substrate the paper's
+// conflict detectors plug into: transactions with inverse-method undo
+// logs, commit/abort lifecycle hooks, and a worklist executor that runs
+// iterations optimistically and retries them on conflict with randomized
+// backoff. It plays the role the Galois system plays in the paper's
+// evaluation (§5).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrConflict is the sentinel returned (possibly wrapped) by conflict
+// detectors when a method invocation does not commute with a concurrently
+// executing transaction. The executor responds by aborting and retrying
+// the current transaction.
+var ErrConflict = errors.New("engine: conflict")
+
+// Conflict wraps ErrConflict with a human-readable description of what
+// failed to commute; errors.Is(err, ErrConflict) matches it.
+func Conflict(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrConflict, fmt.Sprintf(format, args...))
+}
+
+// IsConflict reports whether err denotes a speculation conflict.
+func IsConflict(err error) bool { return errors.Is(err, ErrConflict) }
+
+var txIDs atomic.Uint64
+
+// Status is the lifecycle state of a transaction.
+type Status int
+
+// Transaction lifecycle states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// Tx is a speculative transaction. A transaction accumulates undo actions
+// (inverse methods, per §3.3.2) as it mutates shared structures and
+// release hooks from the conflict detectors guarding those structures.
+// On abort, undo actions run in LIFO order and then release hooks run;
+// on commit only the release hooks run.
+//
+// A Tx is not safe for concurrent use by multiple goroutines; each
+// speculative iteration owns its transaction.
+type Tx struct {
+	id      uint64
+	undo    []func()
+	release []func()
+	status  Status
+}
+
+// NewTx creates a fresh active transaction.
+func NewTx() *Tx {
+	return &Tx{id: txIDs.Add(1)}
+}
+
+// ID returns the transaction's unique identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Status returns the transaction's lifecycle state.
+func (tx *Tx) Status() Status { return tx.status }
+
+// OnUndo registers an inverse action to run (in LIFO order) if the
+// transaction aborts. Data structure wrappers call this after every
+// successful mutating invocation.
+func (tx *Tx) OnUndo(f func()) {
+	tx.mustBeActive()
+	tx.undo = append(tx.undo, f)
+}
+
+// OnRelease registers a hook that runs when the transaction ends, whether
+// by commit or abort: lock release, gatekeeper log cleanup, and so on.
+// Release hooks run after undo actions during an abort.
+func (tx *Tx) OnRelease(f func()) {
+	tx.mustBeActive()
+	tx.release = append(tx.release, f)
+}
+
+// Commit ends the transaction successfully, running release hooks.
+func (tx *Tx) Commit() {
+	tx.mustBeActive()
+	tx.status = Committed
+	tx.runRelease()
+	tx.undo = nil
+}
+
+// Abort rolls the transaction back: undo actions run newest-first, then
+// release hooks run.
+func (tx *Tx) Abort() {
+	tx.mustBeActive()
+	tx.status = Aborted
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = nil
+	tx.runRelease()
+}
+
+func (tx *Tx) runRelease() {
+	for i := len(tx.release) - 1; i >= 0; i-- {
+		tx.release[i]()
+	}
+	tx.release = nil
+}
+
+func (tx *Tx) mustBeActive() {
+	if tx.status != Active {
+		panic(fmt.Sprintf("engine: operation on %v transaction %d", tx.status, tx.id))
+	}
+}
+
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats summarizes a speculative run.
+type Stats struct {
+	Committed uint64        // iterations that committed
+	Aborts    uint64        // abort/retry events
+	Elapsed   time.Duration // wall-clock time of the run
+}
+
+// AbortRatio returns aborts as a fraction of all attempts
+// (commits + aborts), the quantity Table 2 reports as "Abort Ratio %".
+func (s Stats) AbortRatio() float64 {
+	total := s.Committed + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Options configures a speculative run.
+type Options struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// MaxBackoff caps the randomized backoff after an abort. 0 means a
+	// small default; backoff doubles per consecutive abort of the same
+	// item up to this cap.
+	MaxBackoff time.Duration
+	// MaxRetries aborts the run with an error when a single item fails
+	// more than this many times (a livelock guard). 0 means unlimited.
+	MaxRetries int
+	// Seed seeds per-worker backoff randomization for reproducibility.
+	Seed int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) maxBackoff() time.Duration {
+	if o.MaxBackoff > 0 {
+		return o.MaxBackoff
+	}
+	return 100 * time.Microsecond
+}
+
+// Body is one speculative iteration: it operates on item through
+// detector-guarded data structure wrappers, registering undo and release
+// actions on tx as it goes. Returning an error satisfying IsConflict
+// causes abort-and-retry; any other error cancels the whole run.
+type Body[T any] func(tx *Tx, item T, wl *Worklist[T]) error
+
+// Run drains the worklist with opts.Workers speculative workers, applying
+// body to each item inside a fresh transaction. It is the Galois-style
+// optimistic loop of the paper: conflicts roll the iteration back (inverse
+// methods via the tx undo log) and the item is retried after randomized
+// backoff.
+func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
+	start := time.Now()
+	var stats Stats
+	var committed, aborts atomic.Uint64
+	nw := opts.workers()
+	errc := make(chan error, nw)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				item, ok, finished := wl.pop()
+				if !ok {
+					if finished {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				if err := runItem(wl, item, body, rng, opts, &committed, &aborts); err != nil {
+					stop.Store(true)
+					errc <- err
+					wl.done()
+					return
+				}
+				wl.done()
+			}
+		}(opts.Seed + int64(w)*7919)
+	}
+	wg.Wait()
+	stats.Committed = committed.Load()
+	stats.Aborts = aborts.Load()
+	stats.Elapsed = time.Since(start)
+	select {
+	case err := <-errc:
+		return stats, err
+	default:
+		return stats, nil
+	}
+}
+
+func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
+	opts Options, committed, aborts *atomic.Uint64) error {
+	backoff := time.Microsecond
+	for attempt := 0; ; attempt++ {
+		tx := NewTx()
+		err := body(tx, item, wl)
+		if err == nil {
+			tx.Commit()
+			committed.Add(1)
+			return nil
+		}
+		tx.Abort()
+		if !IsConflict(err) {
+			return err
+		}
+		aborts.Add(1)
+		if opts.MaxRetries > 0 && attempt+1 >= opts.MaxRetries {
+			return fmt.Errorf("engine: item retried %d times without committing: %w", attempt+1, err)
+		}
+		// Randomized exponential backoff to break symmetric livelock.
+		d := time.Duration(rng.Int63n(int64(backoff) + 1))
+		time.Sleep(d)
+		if backoff < opts.maxBackoff() {
+			backoff *= 2
+		}
+	}
+}
+
+// RunItems is a convenience wrapper seeding a fresh worklist from a slice.
+func RunItems[T any](items []T, opts Options, body Body[T]) (Stats, error) {
+	return Run(NewWorklist(items...), opts, body)
+}

@@ -1,0 +1,72 @@
+package engine
+
+import "sync"
+
+// Worklist is a concurrent bag of pending work items. Speculative
+// iterations may push new items while the executor drains it (preflow-push
+// re-enqueues overflowing nodes, clustering enqueues merged clusters, and
+// so on). Items are handed out in FIFO order: the applications are
+// unordered algorithms for which any order is correct, but FIFO gives the
+// fairness clustering's retry loop needs (a re-enqueued point must not be
+// the next item popped).
+type Worklist[T any] struct {
+	mu    sync.Mutex
+	items []T
+	head  int
+	// inflight counts items popped but not yet committed or re-pushed,
+	// so workers can distinguish "temporarily empty" from "done".
+	inflight int
+}
+
+// NewWorklist creates a worklist seeded with items.
+func NewWorklist[T any](items ...T) *Worklist[T] {
+	w := &Worklist[T]{}
+	w.items = append(w.items, items...)
+	return w
+}
+
+// Push adds items to the worklist.
+func (w *Worklist[T]) Push(items ...T) {
+	w.mu.Lock()
+	w.items = append(w.items, items...)
+	w.mu.Unlock()
+}
+
+// Len returns the number of queued (not in-flight) items.
+func (w *Worklist[T]) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.items) - w.head
+}
+
+// pop removes the oldest item, marking it in-flight. The second result is
+// false when the list is empty; the third reports whether the whole
+// computation is complete (empty and nothing in flight).
+func (w *Worklist[T]) pop() (T, bool, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var zero T
+	if w.head == len(w.items) {
+		return zero, false, w.inflight == 0
+	}
+	it := w.items[w.head]
+	w.items[w.head] = zero // release for GC
+	w.head++
+	if w.head == len(w.items) {
+		w.items = w.items[:0]
+		w.head = 0
+	} else if w.head > 1024 && w.head*2 > len(w.items) {
+		n := copy(w.items, w.items[w.head:])
+		w.items = w.items[:n]
+		w.head = 0
+	}
+	w.inflight++
+	return it, true, false
+}
+
+// done marks a popped item finished (committed or abandoned).
+func (w *Worklist[T]) done() {
+	w.mu.Lock()
+	w.inflight--
+	w.mu.Unlock()
+}

@@ -1,0 +1,391 @@
+// Package gatekeeper implements the paper's two logging-based conflict
+// detection schemes (§3.3): forward gatekeepers for ONLINE-CHECKABLE
+// specifications and general gatekeepers, which add state rollback to
+// evaluate arbitrary L1 conditions.
+//
+// A gatekeeper is a special object interposed between transactions and a
+// linearizable data structure. The whole sequence — intercept an
+// invocation, check it for commutativity against every active invocation
+// from other transactions, execute it, and return — appears atomic (a
+// per-structure mutex). Because the gatekeeper interacts with the
+// structure only through method invocations and declared state functions,
+// it is agnostic to the concrete representation.
+package gatekeeper
+
+import (
+	"fmt"
+	"sync"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+// Effect is what executing a method invocation produced: its return value
+// and an inverse action that undoes its state change (nil for read-only
+// invocations, which also covers mutating methods that happened not to
+// change anything, e.g. add of a present element).
+type Effect struct {
+	Ret  core.Value
+	Undo func()
+}
+
+// entry is an active logged invocation: the invocation itself plus the
+// result log L_m(v) holding the values of the primitive functions Cm
+// evaluated when it ran (§3.3.1 step 1).
+type entry struct {
+	tx  *engine.Tx
+	inv core.Invocation
+	log map[string]core.Value // keyed by canonical term string
+}
+
+// fwdPlan is the static per-ordered-pair plan: the condition to check
+// when the second method arrives while the first is active, plus the
+// non-pure s2-state functions that must be evaluated before the second
+// method executes.
+type fwdPlan struct {
+	cond    core.Cond
+	fn2Pre  []core.FnTerm
+	trivial bool // condition is the constant true: nothing to check
+	never   bool // condition is the constant false
+}
+
+// Forward is a forward gatekeeper (§3.3.1): it builds up information
+// about method invocations as they happen, storing primitive-function
+// results in per-invocation logs, and verifies that every new invocation
+// commutes with all active invocations from other transactions.
+type Forward struct {
+	spec *core.Spec
+	res  core.StateFn // live resolver against the guarded structure
+
+	pairs  map[[2]string]*fwdPlan
+	cmPre  map[string][]core.FnTerm // Cm: non-pure s1 functions, evaluated pre-execution
+	cmPost map[string][]core.FnTerm // Cm: pure s1 functions, evaluated post-execution
+
+	mu      sync.Mutex
+	entries []*entry
+	hooked  map[*engine.Tx]bool
+	stats   Stats
+}
+
+// Stats counts the work a gatekeeper performed — the raw material of the
+// overhead comparison in §3.4.
+type Stats struct {
+	Invocations uint64 // guarded invocations processed
+	Checks      uint64 // pairwise commutativity conditions evaluated
+	Conflicts   uint64 // invocations rejected
+	Rollbacks   uint64 // journal rollback sweeps (general gatekeepers)
+	LogEntries  uint64 // primitive-function results logged (forward)
+}
+
+// NewForward constructs a forward gatekeeper for spec guarding a
+// structure whose state functions are resolved by res. It fails if any
+// pair condition is not ONLINE-CHECKABLE (Definition 7), or uses a shape
+// this engine cannot schedule (a non-pure state function needing a return
+// value before it is known).
+func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
+	g := &Forward{
+		spec:   spec,
+		res:    res,
+		pairs:  map[[2]string]*fwdPlan{},
+		cmPre:  map[string][]core.FnTerm{},
+		cmPost: map[string][]core.FnTerm{},
+		hooked: map[*engine.Tx]bool{},
+	}
+	cmSeen := map[string]map[string]bool{}
+	names := spec.Sig.MethodNames()
+	for _, m1 := range names {
+		for _, m2 := range names {
+			cond := spec.Cond(m1, m2)
+			if !core.IsOnlineCheckableWith(cond, spec.Pure) {
+				return nil, fmt.Errorf("gatekeeper: condition for (%s,%s) is not ONLINE-CHECKABLE: %s (use a general gatekeeper)", m1, m2, cond)
+			}
+			plan := &fwdPlan{cond: cond}
+			switch cond.(type) {
+			case core.TrueCond:
+				plan.trivial = true
+			case core.FalseCond:
+				plan.never = true
+			}
+			// Collect the primitive function set Cm1 (all s1 functions in
+			// the condition) and schedule each: pure functions evaluate
+			// after execution (the return value is then available);
+			// non-pure functions must run in the pre-state and therefore
+			// may not mention r1.
+			for _, ft := range core.FirstStateFns(cond) {
+				if cmSeen[m1] == nil {
+					cmSeen[m1] = map[string]bool{}
+				}
+				key := core.TermKey(ft)
+				if cmSeen[m1][key] {
+					continue
+				}
+				cmSeen[m1][key] = true
+				if spec.Pure[ft.Fn] {
+					// Pure functions over first-invocation values are
+					// logged after execution (the paper's dist(x, r) log
+					// entry); pure functions that also mention the second
+					// invocation cannot be logged and are evaluated live
+					// at check time instead, which is sound because they
+					// are state-independent.
+					if !mentionsSide(ft, core.Second) {
+						g.cmPost[m1] = append(g.cmPost[m1], ft)
+					}
+				} else {
+					if mentionsRet(ft, core.First) {
+						return nil, fmt.Errorf("gatekeeper: %s needs non-pure %s(s1,...) over r1, which cannot be evaluated in the pre-state", m1, ft.Fn)
+					}
+					g.cmPre[m1] = append(g.cmPre[m1], ft)
+				}
+			}
+			// Non-pure s2 functions must be evaluated in the state the
+			// second method executes in, i.e. before it runs, so they may
+			// not mention r2.
+			for _, ft := range secondStateFns(cond) {
+				if spec.Pure[ft.Fn] {
+					continue // resolved live; pure functions ignore state
+				}
+				if mentionsRet(ft, core.Second) {
+					return nil, fmt.Errorf("gatekeeper: (%s,%s) needs non-pure %s(s2,...) over r2, which cannot be evaluated before execution", m1, m2, ft.Fn)
+				}
+				if containsNonPureFn(ft, core.First, spec.Pure) {
+					return nil, fmt.Errorf("gatekeeper: (%s,%s): non-pure s1 function nested inside %s(s2,...) is not supported", m1, m2, ft.Fn)
+				}
+				plan.fn2Pre = append(plan.fn2Pre, ft)
+			}
+			g.pairs[[2]string{m1, m2}] = plan
+		}
+	}
+	return g, nil
+}
+
+// Invoke executes one guarded method invocation for tx. exec performs the
+// operation on the underlying structure and reports its effect. If the
+// invocation does not commute with some active invocation, Invoke undoes
+// the effect inside its atomic section and returns an error satisfying
+// engine.IsConflict. On success the effect's undo action (if any) is
+// registered with tx so that a later abort rolls it back, and the
+// invocation joins the active log until tx ends.
+func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() Effect) (core.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Invocations++
+
+	inv := core.NewInvocation(method, args, nil)
+
+	// Pre-pass A: our own non-pure s1 functions, in the pre-state.
+	log := map[string]core.Value{}
+	preEnv := &core.PairEnv{Inv1: inv, S1: g.res, S2: g.res}
+	for _, ft := range g.cmPre[method] {
+		v, err := core.EvalTerm(ft, preEnv)
+		if err != nil {
+			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", ft, method, err)
+		}
+		log[core.TermKey(ft)] = v
+		g.stats.LogEntries++
+	}
+
+	// Pre-pass B: per active invocation, the non-pure s2 functions of the
+	// condition we are about to check, in the state m2 executes in.
+	type pending struct {
+		e    *entry
+		plan *fwdPlan
+		sub  map[string]core.Value
+	}
+	var checks []pending
+	for _, e := range g.entries {
+		if e.tx == tx {
+			continue
+		}
+		plan := g.pairs[[2]string{e.inv.Method, method}]
+		if plan.trivial {
+			continue
+		}
+		p := pending{e: e, plan: plan}
+		if len(plan.fn2Pre) > 0 {
+			p.sub = map[string]core.Value{}
+			env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
+			for _, ft := range plan.fn2Pre {
+				v, err := core.EvalTerm(ft, env)
+				if err != nil {
+					return nil, fmt.Errorf("gatekeeper: evaluating %s for (%s,%s): %w", ft, e.inv.Method, method, err)
+				}
+				p.sub[core.TermKey(ft)] = v
+			}
+		}
+		checks = append(checks, p)
+	}
+
+	// Execute.
+	eff := exec()
+	inv.Ret = core.Norm(eff.Ret)
+	undoNow := func() {
+		if eff.Undo != nil {
+			eff.Undo()
+		}
+	}
+
+	// Post-pass: our pure s1 functions (may use the return value).
+	postEnv := &core.PairEnv{Inv1: inv, S1: g.res, S2: g.res}
+	for _, ft := range g.cmPost[method] {
+		v, err := core.EvalTerm(ft, postEnv)
+		if err != nil {
+			undoNow()
+			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", ft, method, err)
+		}
+		log[core.TermKey(ft)] = v
+		g.stats.LogEntries++
+	}
+
+	// Check commutativity against every active invocation.
+	for _, p := range checks {
+		g.stats.Checks++
+		if p.plan.never {
+			undoNow()
+			g.stats.Conflicts++
+			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
+				method, p.e.inv.Method, p.e.tx.ID())
+		}
+		sub := map[string]core.Value{}
+		for k, v := range p.e.log {
+			sub[k] = v
+		}
+		for k, v := range p.sub {
+			sub[k] = v
+		}
+		cond := core.SubstTerms(p.plan.cond, sub)
+		ok, err := core.Eval(cond, &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res})
+		if err != nil {
+			undoNow()
+			return eff.Ret, fmt.Errorf("gatekeeper: checking (%s,%s): %w", p.e.inv.Method, method, err)
+		}
+		if !ok {
+			undoNow()
+			g.stats.Conflicts++
+			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
+				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
+		}
+	}
+
+	// Success: record as active, wire transaction hooks.
+	g.entries = append(g.entries, &entry{tx: tx, inv: inv, log: log})
+	if !g.hooked[tx] {
+		g.hooked[tx] = true
+		tx.OnRelease(func() { g.release(tx) })
+	}
+	if eff.Undo != nil {
+		undo := eff.Undo
+		tx.OnUndo(func() {
+			g.mu.Lock()
+			undo()
+			g.mu.Unlock()
+		})
+	}
+	return eff.Ret, nil
+}
+
+// release drops all of tx's active invocations and their logs (§3.3.1
+// step 4). Installed automatically as a transaction release hook.
+func (g *Forward) release(tx *engine.Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.entries[:0]
+	for _, e := range g.entries {
+		if e.tx != tx {
+			kept = append(kept, e)
+		}
+	}
+	g.entries = kept
+	delete(g.hooked, tx)
+}
+
+// ActiveInvocations reports how many invocations are currently logged
+// (for tests and diagnostics).
+func (g *Forward) ActiveInvocations() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Stats returns a snapshot of the gatekeeper's work counters.
+func (g *Forward) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Sync runs f under the gatekeeper's structure mutex, for callers that
+// need raw access to the guarded structure outside an Invoke (setup,
+// sequential phases, validation).
+func (g *Forward) Sync(f func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f()
+}
+
+// mentionsRet reports whether the term references the return value of the
+// given side anywhere.
+func mentionsRet(t core.Term, side core.Side) bool {
+	switch x := t.(type) {
+	case core.RetTerm:
+		return x.Side == side
+	case core.FnTerm:
+		for _, a := range x.Args {
+			if mentionsRet(a, side) {
+				return true
+			}
+		}
+	case core.ArithTerm:
+		return mentionsRet(x.L, side) || mentionsRet(x.R, side)
+	}
+	return false
+}
+
+// mentionsSide reports whether the term references an argument or return
+// value of the given side anywhere.
+func mentionsSide(t core.Term, side core.Side) bool {
+	switch x := t.(type) {
+	case core.ArgTerm:
+		return x.Side == side
+	case core.RetTerm:
+		return x.Side == side
+	case core.FnTerm:
+		for _, a := range x.Args {
+			if mentionsSide(a, side) {
+				return true
+			}
+		}
+	case core.ArithTerm:
+		return mentionsSide(x.L, side) || mentionsSide(x.R, side)
+	}
+	return false
+}
+
+// containsNonPureFn reports whether t contains a state-function
+// application on the given side that is not declared pure.
+func containsNonPureFn(t core.Term, side core.Side, pure map[string]bool) bool {
+	switch x := t.(type) {
+	case core.FnTerm:
+		if x.State == side && !pure[x.Fn] {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsNonPureFn(a, side, pure) {
+				return true
+			}
+		}
+	case core.ArithTerm:
+		return containsNonPureFn(x.L, side, pure) || containsNonPureFn(x.R, side, pure)
+	}
+	return false
+}
+
+// secondStateFns collects the distinct s2-state function applications in
+// a condition, the mirror image of core.FirstStateFns.
+func secondStateFns(c core.Cond) []core.FnTerm {
+	var out []core.FnTerm
+	for _, ft := range core.FirstStateFns(core.SwapSides(c)) {
+		sw := core.SwapTermSides(ft).(core.FnTerm)
+		out = append(out, sw)
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+// GEffect is the result of executing a method invocation under a general
+// gatekeeper. Mutating invocations must supply exact-state Undo and Redo
+// actions: Undo restores the concrete state to what it was immediately
+// before the invocation, and Redo re-applies the exact change. The
+// gatekeeper drives them to roll the structure back to earlier states
+// when evaluating conditions that are not ONLINE-CHECKABLE, then restore
+// it (§3.3.2).
+type GEffect struct {
+	Ret  core.Value
+	Undo func()
+	Redo func()
+}
+
+// genPlan is the static per-ordered-pair plan for a general gatekeeper:
+// the condition plus which state functions must be evaluated under
+// rollback at s1 (the active invocation's pre-state) and at s2 (the new
+// invocation's pre-state).
+type genPlan struct {
+	cond    core.Cond
+	fn1     []core.FnTerm // all non-pure s1 functions: evaluated at s1 via rollback
+	fn2     []core.FnTerm // all non-pure s2 functions: evaluated at s2 via rollback
+	trivial bool
+	never   bool
+}
+
+// jentry is one journaled mutation by an active transaction.
+type jentry struct {
+	seq  uint64
+	tx   *engine.Tx
+	undo func()
+	redo func()
+}
+
+// gentry is an active invocation with the journal position that marks the
+// state it executed in.
+type gentry struct {
+	tx     *engine.Tx
+	inv    core.Invocation
+	seqPre uint64 // state s1 = current state with journal entries seq > seqPre undone
+}
+
+// General is a general gatekeeper (§3.3.2): a forward-style active log
+// plus an undo/redo journal of the mutations performed by live
+// transactions. Conditions whose s1 functions depend on the *second*
+// invocation (not ONLINE-CHECKABLE, e.g. union-find's rep(s1, c)) are
+// evaluated by rolling the structure back to the recorded state, querying
+// it, and re-applying the journal — all inside the gatekeeper's atomic
+// section.
+//
+// Rolling back only the journal of live transactions evaluates the
+// condition in a history C-equivalent to the real one: mutations by
+// committed transactions were checked to commute with every still-active
+// invocation, so they can be (virtually) reordered before it. This is the
+// same stance the paper's union-find gatekeeper takes when it undoes only
+// the "potentially interfering" active unions.
+type General struct {
+	spec *core.Spec
+	res  core.StateFn
+
+	pairs map[[2]string]*genPlan
+
+	mu      sync.Mutex
+	seq     uint64
+	journal []*jentry
+	entries []*gentry
+	hooked  map[*engine.Tx]bool
+	stats   Stats
+}
+
+// NewGeneral constructs a general gatekeeper for spec over a structure
+// whose state functions are resolved (against its current state) by res.
+// Any L1 specification is accepted.
+func NewGeneral(spec *core.Spec, res core.StateFn) (*General, error) {
+	g := &General{
+		spec:   spec,
+		res:    res,
+		pairs:  map[[2]string]*genPlan{},
+		hooked: map[*engine.Tx]bool{},
+	}
+	names := spec.Sig.MethodNames()
+	for _, m1 := range names {
+		for _, m2 := range names {
+			cond := spec.Cond(m1, m2)
+			plan := &genPlan{cond: cond}
+			switch cond.(type) {
+			case core.TrueCond:
+				plan.trivial = true
+			case core.FalseCond:
+				plan.never = true
+			}
+			for _, ft := range core.FirstStateFns(cond) {
+				if spec.Pure[ft.Fn] {
+					continue
+				}
+				if containsNonPureFn(ft, core.Second, spec.Pure) {
+					return nil, fmt.Errorf("gatekeeper: (%s,%s): s2 function nested inside %s(s1,...) is not supported", m1, m2, ft.Fn)
+				}
+				plan.fn1 = append(plan.fn1, ft)
+			}
+			for _, ft := range secondStateFns(cond) {
+				if spec.Pure[ft.Fn] {
+					continue
+				}
+				if containsNonPureFn(ft, core.First, spec.Pure) {
+					return nil, fmt.Errorf("gatekeeper: (%s,%s): s1 function nested inside %s(s2,...) is not supported", m1, m2, ft.Fn)
+				}
+				plan.fn2 = append(plan.fn2, ft)
+			}
+			g.pairs[[2]string{m1, m2}] = plan
+		}
+	}
+	return g, nil
+}
+
+// Invoke executes one guarded invocation for tx, checking it against all
+// active invocations from other transactions, rolling the structure back
+// as needed to evaluate stateful condition terms in the right states. On
+// conflict the invocation's own effect is undone before returning.
+func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() GEffect) (core.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Invocations++
+
+	inv := core.NewInvocation(method, args, nil)
+	seqPre := g.seq
+
+	eff := exec()
+	inv.Ret = core.Norm(eff.Ret)
+	var own *jentry
+	if eff.Undo != nil {
+		if eff.Redo == nil {
+			panic("gatekeeper: GEffect with Undo but no Redo")
+		}
+		g.seq++
+		own = &jentry{seq: g.seq, tx: tx, undo: eff.Undo, redo: eff.Redo}
+		g.journal = append(g.journal, own)
+	}
+
+	// Gather the checks and the rollback points they need. Evaluation at
+	// "state seqPre" means: every journal entry with seq > seqPre undone.
+	type pending struct {
+		e    *gentry
+		plan *genPlan
+		sub  map[string]core.Value
+	}
+	var checks []pending
+	needState := map[uint64][]int{} // rollback point -> indices into checks needing fn1 there
+	needS2 := false
+	for _, e := range g.entries {
+		if e.tx == tx {
+			continue
+		}
+		plan := g.pairs[[2]string{e.inv.Method, method}]
+		if plan.trivial {
+			continue
+		}
+		p := pending{e: e, plan: plan, sub: map[string]core.Value{}}
+		idx := len(checks)
+		checks = append(checks, p)
+		if len(plan.fn1) > 0 {
+			needState[e.seqPre] = append(needState[e.seqPre], idx)
+		}
+		if len(plan.fn2) > 0 {
+			needS2 = true
+		}
+	}
+
+	if len(needState) > 0 || needS2 {
+		g.stats.Rollbacks++
+		g.rollbackEval(inv, seqPre, len(checks), needState, needS2, func(i int) (*gentry, *genPlan, map[string]core.Value) {
+			return checks[i].e, checks[i].plan, checks[i].sub
+		})
+	}
+
+	undoOwn := func() {
+		if own != nil {
+			own.undo()
+			g.journal = g.journal[:len(g.journal)-1]
+		}
+	}
+
+	for _, p := range checks {
+		g.stats.Checks++
+		if p.plan.never {
+			undoOwn()
+			g.stats.Conflicts++
+			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
+				method, p.e.inv.Method, p.e.tx.ID())
+		}
+		cond := core.SubstTerms(p.plan.cond, p.sub)
+		ok, err := core.Eval(cond, &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res})
+		if err != nil {
+			undoOwn()
+			return eff.Ret, fmt.Errorf("gatekeeper: checking (%s,%s): %w", p.e.inv.Method, method, err)
+		}
+		if !ok {
+			undoOwn()
+			g.stats.Conflicts++
+			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
+				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
+		}
+	}
+
+	g.entries = append(g.entries, &gentry{tx: tx, inv: inv, seqPre: seqPre})
+	if !g.hooked[tx] {
+		g.hooked[tx] = true
+		tx.OnUndo(func() { g.abortTx(tx) })
+		tx.OnRelease(func() { g.endTx(tx) })
+	}
+	return eff.Ret, nil
+}
+
+// rollbackEval performs one backward sweep over the journal, pausing at
+// each required rollback point to evaluate the stateful condition terms
+// that belong there, then replays the journal forward.
+func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, nChecks int,
+	needState map[uint64][]int, needS2 bool,
+	get func(i int) (*gentry, *genPlan, map[string]core.Value)) {
+
+	points := make([]uint64, 0, len(needState)+1)
+	for p := range needState {
+		points = append(points, p)
+	}
+	if needS2 {
+		points = append(points, seqPre)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] > points[j] })
+
+	undone := 0 // journal suffix length currently undone
+	evalAt := func(point uint64) {
+		for undone < len(g.journal) && g.journal[len(g.journal)-1-undone].seq > point {
+			g.journal[len(g.journal)-1-undone].undo()
+			undone++
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, pt := range points {
+		if seen[pt] {
+			continue
+		}
+		seen[pt] = true
+		evalAt(pt)
+		if needS2 && pt == seqPre {
+			// State s2: evaluate the non-pure fn2 terms of every check.
+			for i := 0; i < nChecks; i++ {
+				e, plan, sub := get(i)
+				env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
+				for _, ft := range plan.fn2 {
+					if v, err := core.EvalTerm(ft, env); err == nil {
+						sub[core.TermKey(ft)] = v
+					}
+				}
+			}
+		}
+		for _, i := range needState[pt] {
+			e, plan, sub := get(i)
+			env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
+			for _, ft := range plan.fn1 {
+				if v, err := core.EvalTerm(ft, env); err == nil {
+					sub[core.TermKey(ft)] = v
+				}
+			}
+		}
+	}
+	// Replay forward in order.
+	for undone > 0 {
+		g.journal[len(g.journal)-undone].redo()
+		undone--
+	}
+}
+
+// abortTx undoes the transaction's journaled mutations, newest first, and
+// drops them from the journal. Installed as a tx undo hook.
+func (g *General) abortTx(tx *engine.Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := len(g.journal) - 1; i >= 0; i-- {
+		if g.journal[i].tx == tx {
+			g.journal[i].undo()
+			g.journal = append(g.journal[:i], g.journal[i+1:]...)
+		}
+	}
+}
+
+// endTx drops the transaction's journal entries (now permanent) and
+// active invocations. Installed as a tx release hook; on abort the
+// journal was already emptied by abortTx.
+func (g *General) endTx(tx *engine.Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.journal[:0]
+	for _, j := range g.journal {
+		if j.tx != tx {
+			kept = append(kept, j)
+		}
+	}
+	g.journal = kept
+	keptE := g.entries[:0]
+	for _, e := range g.entries {
+		if e.tx != tx {
+			keptE = append(keptE, e)
+		}
+	}
+	g.entries = keptE
+	delete(g.hooked, tx)
+}
+
+// ActiveInvocations reports the number of logged active invocations.
+func (g *General) ActiveInvocations() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Stats returns a snapshot of the gatekeeper's work counters.
+func (g *General) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// JournalLen reports the number of journaled live mutations.
+func (g *General) JournalLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.journal)
+}
+
+// Sync runs f under the gatekeeper's structure mutex.
+func (g *General) Sync(f func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f()
+}

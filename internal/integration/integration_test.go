@@ -1,0 +1,146 @@
+// Package integration exercises transactions that span multiple guarded
+// structures with different conflict-detection schemes — the situation
+// Borůvka's iterations create (union-find general gatekeeper + abstract-
+// locked component lists) and the general shape of Galois applications:
+// one transaction, many boosted objects, one undo log.
+package integration
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"commlat/internal/adt/accum"
+	"commlat/internal/adt/intset"
+	"commlat/internal/adt/unionfind"
+	"commlat/internal/engine"
+)
+
+// TestCrossStructureRollback: a transaction mutates a gatekept set, an
+// abstract-locked accumulator and a general-gatekept union-find, then
+// aborts; every structure must roll back.
+func TestCrossStructureRollback(t *testing.T) {
+	set := intset.NewGatekept(intset.NewHashRep())
+	acc := accum.New()
+	uf := unionfind.NewGK(8)
+
+	tx := engine.NewTx()
+	if _, err := set.Add(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Inc(tx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uf.Union(tx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	if len(set.Snapshot()) != 0 {
+		t.Errorf("set kept %v", set.Snapshot())
+	}
+	if acc.Total() != 0 {
+		t.Errorf("accumulator kept %d", acc.Total())
+	}
+	if uf.Forest().Same(1, 2) {
+		t.Error("union survived the abort")
+	}
+}
+
+// TestCrossStructureConflictMidway: a conflict on the THIRD structure
+// aborts the transaction, and the first two structures' effects must
+// unwind even though their own detectors saw no conflict.
+func TestCrossStructureConflictMidway(t *testing.T) {
+	set := intset.NewGatekept(intset.NewHashRep())
+	acc := accum.New()
+	uf := unionfind.NewGK(8)
+
+	// tx1 holds a union that tx2 will collide with.
+	tx1 := engine.NewTx()
+	if _, err := uf.Union(tx1, 1, 2); err != nil { // loser 1
+		t.Fatal(err)
+	}
+
+	tx2 := engine.NewTx()
+	if _, err := set.Add(tx2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Inc(tx2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uf.Find(tx2, 1); !engine.IsConflict(err) {
+		t.Fatalf("find(1) should conflict with the live union, got %v", err)
+	}
+	tx2.Abort()
+	tx1.Commit()
+
+	if len(set.Snapshot()) != 0 {
+		t.Errorf("set kept %v after cross-structure abort", set.Snapshot())
+	}
+	if acc.Total() != 0 {
+		t.Errorf("accumulator kept %d after cross-structure abort", acc.Total())
+	}
+	if !uf.Forest().Same(1, 2) {
+		t.Error("committed union lost")
+	}
+}
+
+// TestCrossStructureSpeculativeWorkload drives transactions touching all
+// three structures concurrently through the executor and validates the
+// combined final state.
+func TestCrossStructureSpeculativeWorkload(t *testing.T) {
+	const n = 64
+	set := intset.NewGatekept(intset.NewHashRep())
+	acc := accum.New()
+	uf := unionfind.NewGK(n)
+
+	type op struct {
+		x    int64
+		a, b int64
+	}
+	r := rand.New(rand.NewSource(5))
+	var items []op
+	for i := 0; i < 200; i++ {
+		items = append(items, op{x: int64(i), a: int64(r.Intn(n)), b: int64(r.Intn(n))})
+	}
+	var mu sync.Mutex
+	var committedUnions [][2]int64
+	stats, err := engine.RunItems(items, engine.Options{Workers: 8}, func(tx *engine.Tx, o op, _ *engine.Worklist[op]) error {
+		if _, err := set.Add(tx, o.x); err != nil {
+			return err
+		}
+		if err := acc.Inc(tx, 1); err != nil {
+			return err
+		}
+		if _, err := uf.Union(tx, o.a, o.b); err != nil {
+			return err
+		}
+		mu.Lock()
+		committedUnions = append(committedUnions, [2]int64{o.a, o.b})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 200 {
+		t.Fatalf("committed %d, want 200", stats.Committed)
+	}
+	if got := len(set.Snapshot()); got != 200 {
+		t.Errorf("set has %d elements, want 200", got)
+	}
+	if acc.Total() != 200 {
+		t.Errorf("accumulator = %d, want 200", acc.Total())
+	}
+	ref := unionfind.NewForest(n)
+	for _, u := range committedUnions {
+		ref.Union(u[0], u[1])
+	}
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if uf.Forest().Same(i, j) != ref.Same(i, j) {
+				t.Fatalf("partition mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

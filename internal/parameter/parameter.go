@@ -1,0 +1,79 @@
+// Package parameter estimates how much parallelism a speculative
+// computation exhibits under a given conflict-detection scheme, in the
+// manner of the ParaMeter tool the paper uses for Table 1: iterations
+// are greedily scheduled in rounds on an idealized machine with
+// unboundedly many processors, where a round executes a maximal set of
+// mutually non-conflicting iterations. The number of rounds is the
+// critical path length; committed work divided by rounds is the average
+// parallelism.
+//
+// Profiling runs single-threaded: all of a round's transactions are held
+// open simultaneously so that the round's iterations are checked against
+// each other by exactly the conflict detector under study, then committed
+// together.
+package parameter
+
+import "commlat/internal/engine"
+
+// Body is one speculative iteration. It reports whether it performed
+// real work (stale or empty iterations return false, so they inflate
+// neither work nor the critical path); push enqueues follow-on items.
+type Body[T any] func(tx *engine.Tx, item T, push func(T)) (bool, error)
+
+// Result summarizes a profile.
+type Result struct {
+	Work           int     // committed productive iterations
+	CriticalPath   int     // rounds containing productive work
+	AvgParallelism float64 // Work / CriticalPath
+	Conflicts      int     // iterations deferred to a later round
+}
+
+// Profile greedily schedules the computation and returns its parallelism
+// profile. A non-conflict error from the body aborts profiling.
+func Profile[T any](items []T, body Body[T]) (Result, error) {
+	var res Result
+	pending := append([]T(nil), items...)
+	for len(pending) > 0 {
+		// Deferred (conflicted) items lead the next round, ahead of
+		// newly spawned work: a conflicted iteration must eventually run
+		// before the iterations it keeps conflicting with, or a cyclic
+		// workload (clustering's retry loop) never makes progress.
+		var deferred, spawned []T
+		var open []*engine.Tx
+		productive := 0
+		for _, item := range pending {
+			tx := engine.NewTx()
+			pushed := []T{}
+			did, err := body(tx, item, func(t T) { pushed = append(pushed, t) })
+			if err != nil {
+				tx.Abort()
+				if !engine.IsConflict(err) {
+					for _, o := range open {
+						o.Commit()
+					}
+					return res, err
+				}
+				res.Conflicts++
+				deferred = append(deferred, item)
+				continue
+			}
+			open = append(open, tx)
+			spawned = append(spawned, pushed...)
+			if did {
+				productive++
+			}
+		}
+		for _, tx := range open {
+			tx.Commit()
+		}
+		if productive > 0 {
+			res.CriticalPath++
+			res.Work += productive
+		}
+		pending = append(deferred, spawned...)
+	}
+	if res.CriticalPath > 0 {
+		res.AvgParallelism = float64(res.Work) / float64(res.CriticalPath)
+	}
+	return res, nil
+}

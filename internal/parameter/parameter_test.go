@@ -1,0 +1,117 @@
+package parameter
+
+import (
+	"errors"
+	"testing"
+
+	"commlat/internal/adt/intset"
+	"commlat/internal/engine"
+)
+
+func TestIndependentItemsOneRound(t *testing.T) {
+	s := intset.NewRWLocked(intset.NewHashRep())
+	items := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := Profile(items, func(tx *engine.Tx, x int64, _ func(int64)) (bool, error) {
+		_, err := s.Add(tx, x)
+		return true, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPath != 1 || res.Work != 8 {
+		t.Errorf("independent items: path=%d work=%d, want 1/8", res.CriticalPath, res.Work)
+	}
+	if res.AvgParallelism != 8 {
+		t.Errorf("parallelism = %v, want 8", res.AvgParallelism)
+	}
+	if res.Conflicts != 0 {
+		t.Errorf("conflicts = %d", res.Conflicts)
+	}
+}
+
+func TestFullySerialChain(t *testing.T) {
+	// Every iteration touches the same element: exactly one commits per
+	// round under exclusive locking.
+	s := intset.NewExclusiveLocked(intset.NewHashRep())
+	items := make([]int64, 6)
+	res, err := Profile(items, func(tx *engine.Tx, _ int64, _ func(int64)) (bool, error) {
+		_, err := s.Contains(tx, 42)
+		return true, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPath != 6 || res.Work != 6 {
+		t.Errorf("serial chain: path=%d work=%d, want 6/6", res.CriticalPath, res.Work)
+	}
+	if res.AvgParallelism != 1 {
+		t.Errorf("parallelism = %v, want 1", res.AvgParallelism)
+	}
+	if res.Conflicts != 5+4+3+2+1 {
+		t.Errorf("conflicts = %d, want 15", res.Conflicts)
+	}
+}
+
+func TestReadSharingRaisesParallelism(t *testing.T) {
+	// The same workload under read/write locks commits in one round —
+	// the lattice point changes the measured parallelism, which is the
+	// whole point of Table 1.
+	s := intset.NewRWLocked(intset.NewHashRep())
+	items := make([]int64, 6)
+	res, err := Profile(items, func(tx *engine.Tx, _ int64, _ func(int64)) (bool, error) {
+		_, err := s.Contains(tx, 42)
+		return true, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPath != 1 || res.AvgParallelism != 6 {
+		t.Errorf("rw sharing: path=%d par=%v, want 1/6", res.CriticalPath, res.AvgParallelism)
+	}
+}
+
+func TestDynamicWorkJoinsLaterRounds(t *testing.T) {
+	// Item 0 pushes item 1 which pushes item 2: three rounds even though
+	// nothing conflicts.
+	s := intset.NewRWLocked(intset.NewHashRep())
+	res, err := Profile([]int64{0}, func(tx *engine.Tx, x int64, push func(int64)) (bool, error) {
+		if _, err := s.Add(tx, x); err != nil {
+			return false, err
+		}
+		if x < 2 {
+			push(x + 1)
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPath != 3 || res.Work != 3 {
+		t.Errorf("chain: path=%d work=%d, want 3/3", res.CriticalPath, res.Work)
+	}
+}
+
+func TestUnproductiveIterationsDontCount(t *testing.T) {
+	s := intset.NewRWLocked(intset.NewHashRep())
+	items := []int64{1, 2, 3}
+	res, err := Profile(items, func(tx *engine.Tx, x int64, _ func(int64)) (bool, error) {
+		_, err := s.Contains(tx, x)
+		return x == 1, err // only one productive iteration
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != 1 || res.CriticalPath != 1 {
+		t.Errorf("work=%d path=%d, want 1/1", res.Work, res.CriticalPath)
+	}
+}
+
+func TestFatalErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Profile([]int{1}, func(tx *engine.Tx, _ int, _ func(int)) (bool, error) {
+		return false, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}

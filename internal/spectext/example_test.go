@@ -1,0 +1,32 @@
+package spectext_test
+
+import (
+	"fmt"
+
+	"commlat/internal/spectext"
+)
+
+// Parsing a specification written in the concrete syntax of the paper's
+// logic L1.
+func ExampleParse() {
+	src := `
+adt counter
+method inc(x)
+method read() ret
+
+inc ~ inc:   true
+inc ~ read:  false
+read ~ read: true
+`
+	spec, err := spectext.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("adt:", spec.Sig.Name)
+	fmt.Println("class:", spec.Classify())
+	fmt.Println("inc ~ read:", spec.Cond("inc", "read"))
+	// Output:
+	// adt: counter
+	// class: SIMPLE
+	// inc ~ read: false
+}

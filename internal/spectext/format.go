@@ -1,0 +1,102 @@
+package spectext
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commlat/internal/core"
+)
+
+// Format renders a specification in the package's concrete syntax; the
+// output parses back to an equivalent specification (Parse ∘ Format is
+// the identity up to condition simplification).
+func Format(spec *core.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adt %s\n", spec.Sig.Name)
+	for _, m := range spec.Sig.Methods {
+		fmt.Fprintf(&b, "method %s(%s)", m.Name, strings.Join(m.Params, ", "))
+		if m.HasRet {
+			b.WriteString(" ret")
+		}
+		b.WriteByte('\n')
+	}
+	if len(spec.Pure) > 0 {
+		fns := make([]string, 0, len(spec.Pure))
+		for f := range spec.Pure {
+			fns = append(fns, f)
+		}
+		sort.Strings(fns)
+		fmt.Fprintf(&b, "pure %s\n", strings.Join(fns, ", "))
+	}
+	b.WriteByte('\n')
+	for _, p := range spec.Pairs() {
+		m1, m2 := p[0], p[1]
+		fmt.Fprintf(&b, "%s ~ %s: %s\n", m1, m2, formatCond(spec.Cond(m1, m2), spec.Sig, m1, m2))
+		if m1 != m2 {
+			// Emit the mirrored direction only when it is a genuine
+			// directed override (not the mechanical role swap).
+			mirror := spec.Cond(m2, m1)
+			if !core.CondEqual(mirror, core.SwapSides(spec.Cond(m1, m2))) {
+				fmt.Fprintf(&b, "%s ~ %s: %s\n", m2, m1, formatCond(mirror, spec.Sig, m2, m1))
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatCond(c core.Cond, sig *core.ADTSig, m1, m2 string) string {
+	switch x := c.(type) {
+	case core.TrueCond:
+		return "true"
+	case core.FalseCond:
+		return "false"
+	case core.NotCond:
+		return "!(" + formatCond(x.C, sig, m1, m2) + ")"
+	case core.AndCond:
+		return "(" + formatCond(x.L, sig, m1, m2) + " && " + formatCond(x.R, sig, m1, m2) + ")"
+	case core.OrCond:
+		return "(" + formatCond(x.L, sig, m1, m2) + " || " + formatCond(x.R, sig, m1, m2) + ")"
+	case core.CmpCond:
+		return formatTerm(x.L, sig, m1, m2) + " " + x.Op.String() + " " + formatTerm(x.R, sig, m1, m2)
+	default:
+		panic(fmt.Sprintf("spectext: unknown condition %T", c))
+	}
+}
+
+func formatTerm(t core.Term, sig *core.ADTSig, m1, m2 string) string {
+	switch x := t.(type) {
+	case core.ArgTerm:
+		method := m1
+		v := "v1"
+		if x.Side == core.Second {
+			method, v = m2, "v2"
+		}
+		ms, _ := sig.Method(method)
+		if x.Index < len(ms.Params) {
+			return v + "." + ms.Params[x.Index]
+		}
+		return fmt.Sprintf("%s.arg%d", v, x.Index)
+	case core.RetTerm:
+		if x.Side == core.First {
+			return "r1"
+		}
+		return "r2"
+	case core.ConstTerm:
+		return fmt.Sprintf("%v", x.V)
+	case core.FnTerm:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = formatTerm(a, sig, m1, m2)
+		}
+		side := "s1"
+		if x.State == core.Second {
+			side = "s2"
+		}
+		return fmt.Sprintf("%s@%s(%s)", x.Fn, side, strings.Join(args, ", "))
+	case core.ArithTerm:
+		return "(" + formatTerm(x.L, sig, m1, m2) + " " + x.Op.String() + " " + formatTerm(x.R, sig, m1, m2) + ")"
+	default:
+		panic(fmt.Sprintf("spectext: unknown term %T", t))
+	}
+}

@@ -1,0 +1,119 @@
+// Package spectext is a concrete syntax for commutativity specifications:
+// a textual form of the paper's logic L1 (figure 1) with the ADT
+// signature declarations needed to interpret it. It lets specifications
+// live in files and be checked, classified and synthesized from the
+// command line (`commlat check`).
+//
+// Example:
+//
+//	adt set
+//	method add(x) ret
+//	method remove(x) ret
+//	method contains(x) ret
+//
+//	add ~ add:           v1.x != v2.x || (r1 = false && r2 = false)
+//	add ~ remove:        v1.x != v2.x || (r1 = false && r2 = false)
+//	add ~ contains:      v1.x != v2.x || r1 = false
+//	remove ~ remove:     v1.x != v2.x || (r1 = false && r2 = false)
+//	remove ~ contains:   v1.x != v2.x || r1 = false
+//	contains ~ contains: true
+//
+// Terms: `v1.<param>` / `v2.<param>` are the two invocations' arguments,
+// `r1` / `r2` their return values, numbers and `true`/`false` literals,
+// `fn@s1(...)` / `fn@s2(...)` state-function applications, and `+ - * /`
+// arithmetic. Conditions use `= != < > <= >=`, `&& || !` and parentheses.
+// A `pure` declaration names state-independent functions. Each `m1 ~ m2:`
+// line sets the condition for that ordered pair; the mirrored pair is
+// derived by role swap unless a separate line overrides it.
+package spectext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/multi-char operator or punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int // for error messages (1-based, set by the parser per line)
+	toks []token
+}
+
+// lexLine tokenizes one logical line.
+func lexLine(line string, lineno int) ([]token, error) {
+	l := &lexer{src: line, line: lineno}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.pos = len(l.src) // comment to end of line
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		default:
+			if op, n := matchOp(l.src[l.pos:]); n > 0 {
+				l.emit(tokPunct, op, l.pos)
+				l.pos += n
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected character %q", lineno, c)
+			}
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+// multi-char operators first so "!=" is not lexed as "!" "=".
+var operators = []string{
+	"||", "&&", "!=", "<=", ">=",
+	"(", ")", ",", ".", "~", ":", "@", "=", "<", ">", "!", "+", "-", "*", "/",
+}
+
+func matchOp(s string) (string, int) {
+	for _, op := range operators {
+		if strings.HasPrefix(s, op) {
+			return op, len(op)
+		}
+	}
+	return "", 0
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,158 @@
+// Package workload generates the evaluation inputs of §5: GENRMF-style
+// synthetic max-flow networks (the paper pulls a GENRMF challenge input
+// from [1]), uniform random point clouds for clustering, random meshes
+// and graphs for Borůvka, and the set microbenchmark's operation streams
+// (distinct elements vs. k equivalence classes). All generators are
+// seeded and deterministic.
+package workload
+
+import (
+	"math/rand"
+
+	"commlat/internal/adt/flowgraph"
+	"commlat/internal/adt/kdtree"
+)
+
+// GenRMF builds an a×a×b "rectangular mesh flow" network in the style of
+// the GENRMF generator: b frames of a×a grids, 4-connected inside each
+// frame with large capacities (c2·a·a), and a random one-to-one matching
+// between consecutive frames with capacities drawn uniformly from
+// [c1, c2]. The source is the first corner of the first frame, the sink
+// the last corner of the last frame.
+func GenRMF(a, b int, c1, c2 int64, seed int64) *flowgraph.Net {
+	r := rand.New(rand.NewSource(seed))
+	n := a * a * b
+	id := func(x, y, f int) int64 { return int64(f*a*a + y*a + x) }
+	net := flowgraph.NewNet(n, id(0, 0, 0), id(a-1, a-1, b-1))
+	inFrameCap := c2 * int64(a) * int64(a)
+	for f := 0; f < b; f++ {
+		for y := 0; y < a; y++ {
+			for x := 0; x < a; x++ {
+				if x+1 < a {
+					net.AddEdge(id(x, y, f), id(x+1, y, f), inFrameCap)
+					net.AddEdge(id(x+1, y, f), id(x, y, f), inFrameCap)
+				}
+				if y+1 < a {
+					net.AddEdge(id(x, y, f), id(x, y+1, f), inFrameCap)
+					net.AddEdge(id(x, y+1, f), id(x, y, f), inFrameCap)
+				}
+			}
+		}
+		if f+1 < b {
+			perm := r.Perm(a * a)
+			for i, j := range perm {
+				cap := c1 + r.Int63n(c2-c1+1)
+				net.AddEdge(int64(f*a*a+i), int64((f+1)*a*a+j), cap)
+			}
+		}
+	}
+	return net
+}
+
+// RandomPoints returns n distinct uniform random points in [0, span)³.
+func RandomPoints(n int, span float64, seed int64) []kdtree.Point {
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[kdtree.Point]bool, n)
+	pts := make([]kdtree.Point, 0, n)
+	for len(pts) < n {
+		p := kdtree.Point{r.Float64() * span, r.Float64() * span, r.Float64() * span}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int64
+	W    float64
+}
+
+// Mesh returns the edges of an n×m grid graph with distinct random
+// weights (distinct weights make the minimum spanning tree unique, which
+// simplifies validation). Nodes are numbered row-major.
+func Mesh(n, m int, seed int64) (nodes int, edges []Edge) {
+	r := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int64 { return int64(y*n + x) }
+	used := map[float64]bool{}
+	weight := func() float64 {
+		for {
+			w := r.Float64() * 1000
+			if !used[w] {
+				used[w] = true
+				return w
+			}
+		}
+	}
+	for y := 0; y < m; y++ {
+		for x := 0; x < n; x++ {
+			if x+1 < n {
+				edges = append(edges, Edge{U: id(x, y), V: id(x+1, y), W: weight()})
+			}
+			if y+1 < m {
+				edges = append(edges, Edge{U: id(x, y), V: id(x, y+1), W: weight()})
+			}
+		}
+	}
+	return n * m, edges
+}
+
+// RandomGraph returns a connected random graph: a random spanning tree
+// plus extra random edges, all with distinct weights.
+func RandomGraph(nodes, extraEdges int, seed int64) []Edge {
+	r := rand.New(rand.NewSource(seed))
+	used := map[float64]bool{}
+	weight := func() float64 {
+		for {
+			w := r.Float64() * 1000
+			if !used[w] {
+				used[w] = true
+				return w
+			}
+		}
+	}
+	var edges []Edge
+	perm := r.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		j := r.Intn(i)
+		edges = append(edges, Edge{U: int64(perm[j]), V: int64(perm[i]), W: weight()})
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := int64(r.Intn(nodes)), int64(r.Intn(nodes))
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, W: weight()})
+		}
+	}
+	return edges
+}
+
+// SetOp is one operation of the set microbenchmark.
+type SetOp struct {
+	Add bool // true = add, false = contains
+	X   int64
+}
+
+// SetOpsDistinct returns n operations over n distinct elements — the
+// microbenchmark's first input, where element locks never contend.
+func SetOpsDistinct(n int, seed int64) []SetOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]SetOp, n)
+	for i := range ops {
+		ops[i] = SetOp{Add: r.Intn(2) == 0, X: int64(i)}
+	}
+	return ops
+}
+
+// SetOpsClasses returns n operations over elements drawn from k
+// equivalence classes — the microbenchmark's second input, where
+// repeated elements expose the precision differences between schemes.
+func SetOpsClasses(n, k int, seed int64) []SetOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]SetOp, n)
+	for i := range ops {
+		ops[i] = SetOp{Add: r.Intn(2) == 0, X: int64(r.Intn(k))}
+	}
+	return ops
+}

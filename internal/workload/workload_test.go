@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"commlat/internal/adt/unionfind"
+)
+
+func TestGenRMFStructure(t *testing.T) {
+	net := GenRMF(4, 3, 1, 10, 7)
+	if net.Len() != 48 {
+		t.Fatalf("nodes = %d, want 48", net.Len())
+	}
+	if net.Source() != 0 || net.Sink() != 47 {
+		t.Errorf("src/sink = %d/%d", net.Source(), net.Sink())
+	}
+	// Every node in frames 0..b-2 has exactly one forward inter-frame
+	// arc. In-frame arcs carry capacity c2·a·a = 160, so the inter-frame
+	// arcs are exactly those with capacity in [c1, c2] = [1, 10].
+	inter := 0
+	for u := 0; u < net.Len(); u++ {
+		for _, arc := range net.Arcs(int64(u)) {
+			if arc.Cap >= 1 && arc.Cap <= 10 {
+				inter++
+				if int(arc.To)/16 != u/16+1 {
+					t.Errorf("inter-frame arc %d→%d does not cross one frame", u, arc.To)
+				}
+			}
+		}
+	}
+	if inter != 2*16 {
+		t.Errorf("inter-frame arcs = %d, want 32", inter)
+	}
+}
+
+func TestGenRMFDeterministic(t *testing.T) {
+	a := GenRMF(3, 3, 1, 10, 5)
+	b := GenRMF(3, 3, 1, 10, 5)
+	for u := 0; u < a.Len(); u++ {
+		aa, ba := a.Arcs(int64(u)), b.Arcs(int64(u))
+		if len(aa) != len(ba) {
+			t.Fatalf("node %d arc counts differ", u)
+		}
+		for i := range aa {
+			if aa[i] != ba[i] {
+				t.Fatalf("node %d arc %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestRandomPointsDistinct(t *testing.T) {
+	pts := RandomPoints(500, 10, 3)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	seen := map[[3]float64]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatal("duplicate point")
+		}
+		seen[p] = true
+		for i := 0; i < 3; i++ {
+			if p[i] < 0 || p[i] >= 10 {
+				t.Fatalf("point out of range: %v", p)
+			}
+		}
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	nodes, edges := Mesh(4, 3, 1)
+	if nodes != 12 {
+		t.Fatalf("nodes = %d", nodes)
+	}
+	// 4x3 grid: 3*3 horizontal + 4*2 vertical = 17 edges.
+	if len(edges) != 17 {
+		t.Fatalf("edges = %d, want 17", len(edges))
+	}
+	weights := map[float64]bool{}
+	for _, e := range edges {
+		if weights[e.W] {
+			t.Fatal("duplicate weight")
+		}
+		weights[e.W] = true
+		if e.U == e.V || e.U < 0 || e.V >= 12 {
+			t.Errorf("bad edge %+v", e)
+		}
+	}
+}
+
+func TestRandomGraphConnected(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		edges := RandomGraph(30, 20, seed)
+		f := unionfind.NewForest(30)
+		for _, e := range edges {
+			f.Union(e.U, e.V)
+		}
+		if f.Sets() != 1 {
+			t.Errorf("seed %d: graph not connected (%d components)", seed, f.Sets())
+		}
+	}
+}
+
+func TestSetOpsDistinct(t *testing.T) {
+	ops := SetOpsDistinct(100, 1)
+	seen := map[int64]bool{}
+	for _, op := range ops {
+		if seen[op.X] {
+			t.Fatal("repeated element in distinct stream")
+		}
+		seen[op.X] = true
+	}
+}
+
+func TestSetOpsClasses(t *testing.T) {
+	ops := SetOpsClasses(1000, 7, 1)
+	for _, op := range ops {
+		if op.X < 0 || op.X >= 7 {
+			t.Fatalf("element %d outside 7 classes", op.X)
+		}
+	}
+	adds := 0
+	for _, op := range ops {
+		if op.Add {
+			adds++
+		}
+	}
+	if adds < 300 || adds > 700 {
+		t.Errorf("add fraction skewed: %d/1000", adds)
+	}
+}
