@@ -11,6 +11,7 @@ package commlat_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"commlat/internal/abslock"
@@ -24,6 +25,7 @@ import (
 	"commlat/internal/bench"
 	"commlat/internal/core"
 	"commlat/internal/engine"
+	"commlat/internal/gatekeeper"
 	"commlat/internal/workload"
 )
 
@@ -353,4 +355,93 @@ func BenchmarkCondEval(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Detector-runtime contention (§3.4 overhead under parallelism) ------
+//
+// The paper's detectors only pay off when their own runtime cost does not
+// become the serial bottleneck (the o term of the §5 T·o/min(a,p)
+// model). These two benches stress the hot paths of the two runtime
+// detectors under parallel load with semantically disjoint operations —
+// every conflict decision is "allow", so all measured cost is detector
+// overhead. Run with -cpu 1,2,4 -benchmem to see scaling and allocation
+// behaviour (EXPERIMENTS.md records before/after numbers).
+
+// BenchmarkManagerContention exercises the abstract-lock manager's
+// acquire/commit/release cycle: one write acquisition plus one read
+// acquisition per iteration, on keys private to each worker.
+func BenchmarkManagerContention(b *testing.B) {
+	scheme, err := abslock.Synthesize(intset.RWSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := abslock.NewManager(scheme.Reduce(), nil)
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		base := gid.Add(1) << 32
+		var i int64
+		for pb.Next() {
+			i++
+			tx := engine.NewTx()
+			k := base | (i & 1023)
+			if err := mgr.PreAcquire(tx, "add", []core.Value{k}); err != nil {
+				b.Error(err)
+				tx.Abort()
+				continue
+			}
+			if err := mgr.PreAcquire(tx, "contains", []core.Value{k + (1 << 20)}); err != nil {
+				b.Error(err)
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+		}
+	})
+}
+
+func benchForwardHotPath(b *testing.B, activeMethod string, nActive int) {
+	b.Helper()
+	g, err := gatekeeper.NewForward(intset.PreciseSpec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A long-lived transaction keeps nActive invocations in the log, so
+	// every benchmark invocation is checked against all of them ("checks")
+	// or skips them via the trivially-true pair condition ("trivial").
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(nActive); i++ {
+		if _, err := g.Invoke(holder, activeMethod, []core.Value{-i}, func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: activeMethod == "add"}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		base := gid.Add(1) << 32
+		var i int64
+		for pb.Next() {
+			i++
+			tx := engine.NewTx()
+			k := base | (i & 1023)
+			if _, err := g.Invoke(tx, "contains", []core.Value{k}, func() gatekeeper.Effect {
+				return gatekeeper.Effect{Ret: false}
+			}); err != nil {
+				b.Error(err)
+			}
+			tx.Commit()
+		}
+	})
+}
+
+// BenchmarkForwardHotPath exercises the forward gatekeeper's per-check
+// path: "checks" evaluates a non-trivial condition against every active
+// invocation, "trivial" measures the cost of skipping pairs whose
+// condition is the constant true.
+func BenchmarkForwardHotPath(b *testing.B) {
+	b.Run("checks", func(b *testing.B) { benchForwardHotPath(b, "add", 8) })
+	b.Run("trivial", func(b *testing.B) { benchForwardHotPath(b, "contains", 64) })
 }

@@ -15,6 +15,11 @@
 //
 // Paper-scale inputs are a matter of flags (e.g. -points 500000
 // -mesh 1000 -ops 1000000); defaults finish in seconds on a laptop.
+//
+// The global flags -cpuprofile and -memprofile, given before the
+// command, write pprof profiles covering the whole run:
+//
+//	commlat -cpuprofile cpu.out table2 -ops 1000000
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -39,11 +46,52 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("commlat", flag.ExitOnError)
+	global.Usage = usage
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := global.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", err)
+			os.Exit(1)
+		}
+	}
+	err := dispatch(global.Arg(0), global.Args()[1:])
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // capture the retained heap, not transient garbage
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", ferr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commlat:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "table1":
@@ -73,10 +121,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "commlat:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
@@ -95,6 +140,10 @@ commands:
   adaptive  run the §5 future-work adaptive scheme selector on the set
   check     parse a textual specification file, classify and synthesize it
   all       run every quick experiment (tables, matrices, model, adaptive)
+
+global flags (before the command):
+  -cpuprofile FILE  write a pprof CPU profile of the whole run
+  -memprofile FILE  write a pprof heap profile at exit
 
 run "commlat <command> -h" for flags.`)
 }

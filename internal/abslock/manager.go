@@ -2,6 +2,8 @@ package abslock
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 
 	"commlat/internal/core"
@@ -29,6 +31,21 @@ type dlock struct {
 	holders []holder
 }
 
+// stripe is one shard of the datum-lock table: its own mutex, lock map,
+// per-transaction held-key lists, and a small free list of recycled
+// dlocks so steady-state acquisition does not allocate. The padding keeps
+// adjacent stripes on separate cache lines.
+type stripe struct {
+	mu   sync.Mutex
+	data map[datumKey]*dlock
+	held map[*engine.Tx][]datumKey
+	free []*dlock
+	_    [24]byte
+}
+
+// maxFreeDlocks caps each stripe's dlock free list.
+const maxFreeDlocks = 64
+
 // Manager enforces a synthesized abstract-locking scheme at run time. It
 // keeps one multi-mode lock per datum (argument or return value seen so
 // far) plus the whole-structure lock, with per-transaction hold masks.
@@ -36,20 +53,44 @@ type dlock struct {
 // incompatibility mask with other holders' mode masks. Locks are
 // released when the owning transaction commits or aborts (all abstract
 // locks are held to transaction end, per §3.2).
+//
+// The datum-lock table is striped: keys hash to one of a power-of-two
+// number of stripes (sized from GOMAXPROCS), each with its own mutex,
+// and the ds-lock has a dedicated stripe of its own, so disjoint
+// acquisitions proceed in parallel instead of serializing on one global
+// mutex. Held-key lists are partitioned per stripe, so releasing a
+// transaction locks only the stripes it actually touched. Within one
+// invocation, acquisitions are grouped by stripe and taken in ascending
+// stripe order, one stripe lock at a time — no two stripe mutexes are
+// ever held together, so lock-order inversion is impossible.
 type Manager struct {
 	scheme   *Scheme
 	keys     map[string]KeyFunc
 	incompat []uint64 // per mode: mask of conflicting modes
 
-	mu   sync.Mutex
-	ds   dlock
-	data map[datumKey]*dlock
-	held map[*engine.Tx][]datumKey // data keys a tx holds, for O(held) release
+	mask    uint32
+	stripes []stripe
+
+	dsMu     sync.Mutex
+	ds       dlock
+	dsHooked map[*engine.Tx]struct{}
 }
 
 type datumKey struct {
 	key string // "" for identity, else key-function name (namespaces values)
 	v   core.Value
+}
+
+// numStripes picks the stripe count: the smallest power of two covering
+// 4× GOMAXPROCS (over-provisioning reduces collision-induced contention),
+// capped to keep idle managers small.
+func numStripes() int {
+	target := runtime.GOMAXPROCS(0) * 4
+	n := 1
+	for n < target && n < 256 {
+		n <<= 1
+	}
+	return n
 }
 
 // NewManager creates a lock manager for scheme. keys must provide an
@@ -58,6 +99,13 @@ type datumKey struct {
 // more than 64 modes are rejected; Reduce() keeps real schemes far below
 // that.
 func NewManager(scheme *Scheme, keys map[string]KeyFunc) *Manager {
+	return newManagerWithStripes(scheme, keys, numStripes())
+}
+
+// newManagerWithStripes is the constructor with an explicit stripe count
+// (a power of two). Tests use a single-stripe manager as the reference
+// oracle for the striped one.
+func newManagerWithStripes(scheme *Scheme, keys map[string]KeyFunc, n int) *Manager {
 	if len(scheme.Modes) > maxModes {
 		panic(fmt.Sprintf("abslock: scheme has %d modes; the manager supports ≤ %d (reduce the scheme or split the ADT)", len(scheme.Modes), maxModes))
 	}
@@ -65,8 +113,13 @@ func NewManager(scheme *Scheme, keys map[string]KeyFunc) *Manager {
 		scheme:   scheme,
 		keys:     keys,
 		incompat: make([]uint64, len(scheme.Modes)),
-		data:     map[datumKey]*dlock{},
-		held:     map[*engine.Tx][]datumKey{},
+		mask:     uint32(n - 1),
+		stripes:  make([]stripe, n),
+		dsHooked: map[*engine.Tx]struct{}{},
+	}
+	for i := range m.stripes {
+		m.stripes[i].data = map[datumKey]*dlock{}
+		m.stripes[i].held = map[*engine.Tx][]datumKey{}
 	}
 	for i := range scheme.Modes {
 		var mask uint64
@@ -83,34 +136,68 @@ func NewManager(scheme *Scheme, keys map[string]KeyFunc) *Manager {
 // Scheme returns the scheme the manager enforces.
 func (m *Manager) Scheme() *Scheme { return m.scheme }
 
+// hashValue hashes a normalized datum value to pick a stripe. The common
+// kinds get direct bit mixing; exotic comparable values (kd-tree points
+// and the like) fall back to hashing their printed form.
+func hashValue(v core.Value) uint64 {
+	switch x := v.(type) {
+	case int64:
+		return splitmix64(uint64(x))
+	case float64:
+		return splitmix64(math.Float64bits(x))
+	case string:
+		return fnv64(x)
+	case bool:
+		if x {
+			return 0x9e3779b97f4a7c15
+		}
+		return 0xbf58476d1ce4e5b9
+	case nil:
+		return 0x94d049bb133111eb
+	default:
+		return fnv64(fmt.Sprint(x))
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (m *Manager) stripeIndex(dk *datumKey) int {
+	h := hashValue(dk.v)
+	if dk.key != "" {
+		h ^= fnv64(dk.key)
+	}
+	return int(uint32(h>>32^h) & m.mask)
+}
+
+// plannedAcq is one resolved acquisition of an invocation: its datum key
+// (ignored for the ds-lock), target stripe (-1 for the ds stripe) and
+// mode.
+type plannedAcq struct {
+	sidx int
+	dk   datumKey
+	mode int
+}
+
 // PreAcquire takes the ds-lock and argument locks for an invocation of
 // method with args, in the scheme's modes. On conflict it returns an
 // error satisfying engine.IsConflict and leaves any locks it already took
 // held (they are released when the transaction aborts).
 func (m *Manager) PreAcquire(tx *engine.Tx, method string, args []core.Value) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i := range m.scheme.Acquire[method] {
-		a := &m.scheme.Acquire[method][i]
-		if a.After || a.Target == TargetRet {
-			continue
-		}
-		mode, err := m.pickMode(a, method, args, nil)
-		if err != nil {
-			return err
-		}
-		switch a.Target {
-		case TargetDS:
-			if err := m.acquire(tx, &m.ds, mode, nil); err != nil {
-				return err
-			}
-		case TargetArg:
-			if err := m.acquireDatum(tx, a.Key, args[a.Arg], mode); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return m.acquireSet(tx, method, args, nil, false)
 }
 
 // PostAcquire takes the post-execution locks: return-value targets plus
@@ -118,11 +205,19 @@ func (m *Manager) PreAcquire(tx *engine.Tx, method string, args []core.Value) er
 // conflict here means the invocation must be rolled back by the
 // transaction's undo log.
 func (m *Manager) PostAcquire(tx *engine.Tx, method string, args []core.Value, ret core.Value) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i := range m.scheme.Acquire[method] {
-		a := &m.scheme.Acquire[method][i]
-		if !a.After && a.Target != TargetRet {
+	return m.acquireSet(tx, method, args, ret, true)
+}
+
+// acquireSet resolves the pre- or post-phase acquisitions of an
+// invocation (modes, key functions, stripes — all computed outside any
+// lock), orders them by stripe, and takes them one stripe at a time.
+func (m *Manager) acquireSet(tx *engine.Tx, method string, args []core.Value, ret core.Value, post bool) error {
+	acqs := m.scheme.Acquire[method]
+	var buf [8]plannedAcq
+	plan := buf[:0]
+	for i := range acqs {
+		a := &acqs[i]
+		if (a.After || a.Target == TargetRet) != post {
 			continue
 		}
 		mode, err := m.pickMode(a, method, args, ret)
@@ -131,20 +226,60 @@ func (m *Manager) PostAcquire(tx *engine.Tx, method string, args []core.Value, r
 		}
 		switch a.Target {
 		case TargetDS:
-			if err := m.acquire(tx, &m.ds, mode, nil); err != nil {
-				return err
-			}
+			plan = append(plan, plannedAcq{sidx: -1, mode: mode})
 		case TargetArg:
-			if err := m.acquireDatum(tx, a.Key, args[a.Arg], mode); err != nil {
+			dk, err := m.datumKeyFor(a.Key, args[a.Arg])
+			if err != nil {
 				return err
 			}
+			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
 		case TargetRet:
-			if err := m.acquireDatum(tx, a.Key, ret, mode); err != nil {
+			dk, err := m.datumKeyFor(a.Key, ret)
+			if err != nil {
+				return err
+			}
+			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
+		}
+	}
+	// Deterministic per-invocation stripe order (stable insertion sort:
+	// the plan is tiny). The ds stripe (-1) sorts first.
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].sidx < plan[j-1].sidx; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+	for i := 0; i < len(plan); {
+		if plan[i].sidx < 0 {
+			if err := m.acquireDS(tx, plan[i].mode); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		// One stripe lock for the whole run of same-stripe acquisitions.
+		s := &m.stripes[plan[i].sidx]
+		s.mu.Lock()
+		for ; i < len(plan) && &m.stripes[plan[i].sidx] == s; i++ {
+			if err := m.acquireInStripe(s, tx, plan[i].dk, plan[i].mode); err != nil {
+				s.mu.Unlock()
 				return err
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
+}
+
+func (m *Manager) datumKeyFor(key string, v core.Value) (datumKey, error) {
+	v = core.Norm(v)
+	if key != "" {
+		f, ok := m.keys[key]
+		if !ok {
+			return datumKey{}, fmt.Errorf("abslock: no implementation for key function %q", key)
+		}
+		v = core.Norm(f(v))
+	}
+	return datumKey{key, v}, nil
 }
 
 // pickMode resolves a (possibly guarded) acquisition's mode against the
@@ -176,26 +311,59 @@ func (m *Manager) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	return ret, nil
 }
 
-func (m *Manager) acquireDatum(tx *engine.Tx, key string, v core.Value, mode int) error {
-	v = core.Norm(v)
-	if key != "" {
-		f, ok := m.keys[key]
-		if !ok {
-			return fmt.Errorf("abslock: no implementation for key function %q", key)
+// acquireDS takes the whole-structure lock on its dedicated stripe.
+func (m *Manager) acquireDS(tx *engine.Tx, mode int) error {
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	isNew, err := m.lockModes(tx, &m.ds, mode)
+	if err != nil {
+		return err
+	}
+	if isNew {
+		if _, hooked := m.dsHooked[tx]; !hooked {
+			m.dsHooked[tx] = struct{}{}
+			tx.OnRelease(func() { m.releaseDS(tx) })
 		}
-		v = core.Norm(f(v))
 	}
-	dk := datumKey{key, v}
-	l := m.data[dk]
-	if l == nil {
-		l = &dlock{}
-		m.data[dk] = l
-	}
-	return m.acquire(tx, l, mode, &dk)
+	return nil
 }
 
-// acquire must run with m.mu held. dk is nil for the ds lock.
-func (m *Manager) acquire(tx *engine.Tx, l *dlock, mode int, dk *datumKey) error {
+// acquireInStripe must run with s.mu held.
+func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk datumKey, mode int) error {
+	l := s.data[dk]
+	fresh := false
+	if l == nil {
+		if n := len(s.free); n > 0 {
+			l = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+		} else {
+			l = &dlock{}
+		}
+		s.data[dk] = l
+		fresh = true
+	}
+	isNew, err := m.lockModes(tx, l, mode)
+	if err != nil {
+		if fresh {
+			delete(s.data, dk) // don't leave an empty lock behind
+			s.recycle(l)
+		}
+		return err
+	}
+	if isNew {
+		if _, hooked := s.held[tx]; !hooked {
+			s.held[tx] = nil
+			tx.OnRelease(func() { m.releaseStripe(s, tx) })
+		}
+		s.held[tx] = append(s.held[tx], dk)
+	}
+	return nil
+}
+
+// lockModes adds mode to tx's hold on l, reporting whether tx is a new
+// holder of l. The caller must hold the lock guarding l.
+func (m *Manager) lockModes(tx *engine.Tx, l *dlock, mode int) (bool, error) {
 	mask := m.incompat[mode]
 	var own *holder
 	for i := range l.holders {
@@ -205,40 +373,62 @@ func (m *Manager) acquire(tx *engine.Tx, l *dlock, mode int, dk *datumKey) error
 			continue
 		}
 		if h.modes&mask != 0 {
-			return engine.Conflict("abstract lock held in a conflicting mode by tx %d (%s acquiring %s)",
+			return false, engine.Conflict("abstract lock held in a conflicting mode by tx %d (%s acquiring %s)",
 				h.tx.ID(), m.scheme.ADT, m.scheme.Modes[mode])
 		}
 	}
 	if own != nil {
 		own.modes |= 1 << uint(mode)
-		return nil
+		return false, nil
 	}
 	l.holders = append(l.holders, holder{tx: tx, modes: 1 << uint(mode)})
-	if _, hooked := m.held[tx]; !hooked {
-		m.held[tx] = nil
-		tx.OnRelease(func() { m.ReleaseAll(tx) })
-	}
-	if dk != nil {
-		m.held[tx] = append(m.held[tx], *dk)
-	}
-	return nil
+	return true, nil
 }
 
-// ReleaseAll drops every lock the transaction holds. It is installed as a
-// transaction release hook automatically on first acquisition.
-func (m *Manager) ReleaseAll(tx *engine.Tx) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	dropHolder(&m.ds, tx)
-	for _, dk := range m.held[tx] {
-		if l := m.data[dk]; l != nil {
+func (s *stripe) recycle(l *dlock) {
+	for i := range l.holders {
+		l.holders[i] = holder{}
+	}
+	l.holders = l.holders[:0]
+	if len(s.free) < maxFreeDlocks {
+		s.free = append(s.free, l)
+	}
+}
+
+// releaseStripe drops everything tx holds in one stripe. Installed as a
+// transaction release hook on the transaction's first acquisition there.
+func (m *Manager) releaseStripe(s *stripe, tx *engine.Tx) {
+	s.mu.Lock()
+	for _, dk := range s.held[tx] {
+		if l := s.data[dk]; l != nil {
 			dropHolder(l, tx)
 			if len(l.holders) == 0 {
-				delete(m.data, dk)
+				delete(s.data, dk)
+				s.recycle(l)
 			}
 		}
 	}
-	delete(m.held, tx)
+	delete(s.held, tx)
+	s.mu.Unlock()
+}
+
+func (m *Manager) releaseDS(tx *engine.Tx) {
+	m.dsMu.Lock()
+	dropHolder(&m.ds, tx)
+	delete(m.dsHooked, tx)
+	m.dsMu.Unlock()
+}
+
+// ReleaseAll drops every lock the transaction holds, across all stripes.
+// Per-stripe release hooks installed at acquisition time normally take
+// care of this at transaction end, each touching only its own stripe;
+// ReleaseAll is the exhaustive variant for callers managing locks
+// outside a transaction lifecycle. It is idempotent.
+func (m *Manager) ReleaseAll(tx *engine.Tx) {
+	m.releaseDS(tx)
+	for i := range m.stripes {
+		m.releaseStripe(&m.stripes[i], tx)
+	}
 }
 
 func dropHolder(l *dlock, tx *engine.Tx) {
@@ -255,7 +445,12 @@ func dropHolder(l *dlock, tx *engine.Tx) {
 // HeldLocks reports how many distinct data locks are currently held (for
 // tests and diagnostics).
 func (m *Manager) HeldLocks() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.data)
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		n += len(s.data)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -128,24 +128,37 @@ func Eval(c Cond, env *PairEnv) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		switch x.Op {
-		case CmpEq:
-			return ValueEq(l, r), nil
-		case CmpNe:
-			return !ValueEq(l, r), nil
-		case CmpLt:
-			return valueLess(l, r)
-		case CmpGt:
-			return valueLess(r, l)
-		case CmpLe:
-			gt, err := valueLess(r, l)
-			return !gt, err
-		case CmpGe:
-			lt, err := valueLess(l, r)
-			return !lt, err
-		}
-		return false, fmt.Errorf("core: unknown comparison %v", x.Op)
+		return Cmp(x.Op, l, r)
 	default:
 		return false, fmt.Errorf("core: unknown condition %T", c)
 	}
+}
+
+// Cmp applies a comparison operator of L1 to two evaluated operands. It
+// is the primitive Eval uses for CmpCond and is exported for compiled
+// condition checkers that evaluate operands themselves.
+func Cmp(op CmpOp, l, r Value) (bool, error) {
+	switch op {
+	case CmpEq:
+		return ValueEq(l, r), nil
+	case CmpNe:
+		return !ValueEq(l, r), nil
+	case CmpLt:
+		return valueLess(l, r)
+	case CmpGt:
+		return valueLess(r, l)
+	case CmpLe:
+		gt, err := valueLess(r, l)
+		return !gt, err
+	case CmpGe:
+		lt, err := valueLess(l, r)
+		return !lt, err
+	}
+	return false, fmt.Errorf("core: unknown comparison %v", op)
+}
+
+// Arith applies an arithmetic connective of L1 to two evaluated
+// operands, with the same numeric promotion rules as EvalTerm.
+func Arith(op ArithOp, a, b Value) (Value, error) {
+	return arith(op, a, b)
 }

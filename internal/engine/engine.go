@@ -86,7 +86,7 @@ func (tx *Tx) Commit() {
 	tx.mustBeActive()
 	tx.status = Committed
 	tx.runRelease()
-	tx.undo = nil
+	clearFuncs(&tx.undo)
 }
 
 // Abort rolls the transaction back: undo actions run newest-first, then
@@ -97,7 +97,7 @@ func (tx *Tx) Abort() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.undo[i]()
 	}
-	tx.undo = nil
+	clearFuncs(&tx.undo)
 	tx.runRelease()
 }
 
@@ -105,7 +105,17 @@ func (tx *Tx) runRelease() {
 	for i := len(tx.release) - 1; i >= 0; i-- {
 		tx.release[i]()
 	}
-	tx.release = nil
+	clearFuncs(&tx.release)
+}
+
+// clearFuncs empties a hook slice but keeps its capacity, so pooled
+// transactions reuse their storage across iterations.
+func clearFuncs(fs *[]func()) {
+	s := *fs
+	for i := range s {
+		s[i] = nil
+	}
+	*fs = s[:0]
 }
 
 func (tx *Tx) mustBeActive() {

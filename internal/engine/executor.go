@@ -1,8 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,7 +66,9 @@ type Body[T any] func(tx *Tx, item T, wl *Worklist[T]) error
 // body to each item inside a fresh transaction. It is the Galois-style
 // optimistic loop of the paper: conflicts roll the iteration back (inverse
 // methods via the tx undo log) and the item is retried after randomized
-// backoff.
+// backoff. Each worker drains its own worklist shard and steals from the
+// others when it runs dry, so uncontended pushes and pops never share a
+// lock. If several workers fail, all their errors are returned, joined.
 func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 	start := time.Now()
 	var stats Stats
@@ -77,11 +80,14 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed))
+			// PCG seeded by (run seed, worker index): reproducible for a
+			// fixed Options.Seed, distinct per worker.
+			rng := rand.New(rand.NewPCG(uint64(opts.Seed), uint64(w)))
+			my := wl.forWorker(w)
 			for !stop.Load() {
-				item, ok, finished := wl.pop()
+				item, ok, finished := my.pop()
 				if !ok {
 					if finished {
 						return
@@ -89,40 +95,54 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 					runtime.Gosched()
 					continue
 				}
-				if err := runItem(wl, item, body, rng, opts, &committed, &aborts); err != nil {
+				if err := runItem(my, item, body, rng, opts, &committed, &aborts); err != nil {
 					stop.Store(true)
 					errc <- err
-					wl.done()
+					my.done()
 					return
 				}
-				wl.done()
+				my.done()
 			}
-		}(opts.Seed + int64(w)*7919)
+		}(w)
 	}
 	wg.Wait()
 	stats.Committed = committed.Load()
 	stats.Aborts = aborts.Load()
 	stats.Elapsed = time.Since(start)
-	select {
-	case err := <-errc:
-		return stats, err
-	default:
-		return stats, nil
+	close(errc)
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
 	}
+	return stats, errors.Join(errs...)
+}
+
+// txPool recycles transaction shells between iterations; Commit and
+// Abort clear the undo/release hooks but keep their slice capacity, so a
+// steady-state worker allocates nothing per transaction.
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+func newPooledTx() *Tx {
+	tx := txPool.Get().(*Tx)
+	tx.id = txIDs.Add(1)
+	tx.status = Active
+	return tx
 }
 
 func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
 	opts Options, committed, aborts *atomic.Uint64) error {
 	backoff := time.Microsecond
 	for attempt := 0; ; attempt++ {
-		tx := NewTx()
+		tx := newPooledTx()
 		err := body(tx, item, wl)
 		if err == nil {
 			tx.Commit()
+			txPool.Put(tx)
 			committed.Add(1)
 			return nil
 		}
 		tx.Abort()
+		txPool.Put(tx)
 		if !IsConflict(err) {
 			return err
 		}
@@ -131,7 +151,7 @@ func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
 			return fmt.Errorf("engine: item retried %d times without committing: %w", attempt+1, err)
 		}
 		// Randomized exponential backoff to break symmetric livelock.
-		d := time.Duration(rng.Int63n(int64(backoff) + 1))
+		d := time.Duration(rng.Int64N(int64(backoff) + 1))
 		time.Sleep(d)
 		if backoff < opts.maxBackoff() {
 			backoff *= 2

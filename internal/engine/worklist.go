@@ -1,72 +1,162 @@
 package engine
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Worklist is a concurrent bag of pending work items. Speculative
 // iterations may push new items while the executor drains it (preflow-push
 // re-enqueues overflowing nodes, clustering enqueues merged clusters, and
-// so on). Items are handed out in FIFO order: the applications are
-// unordered algorithms for which any order is correct, but FIFO gives the
-// fairness clustering's retry loop needs (a re-enqueued point must not be
-// the next item popped).
+// so on).
+//
+// Internally the items live in power-of-two many FIFO shards, each with
+// its own mutex. A Worklist value is a *view* onto the shared shards: the
+// handle NewWorklist returns is pinned to shard 0, so a single-threaded
+// producer/consumer sees strict global FIFO order; the executor gives
+// each worker its own view (forWorker) whose pushes land on the worker's
+// home shard and whose pops drain the home shard first and steal the
+// oldest items from other shards when it runs dry. The applications are
+// unordered algorithms for which any order is correct; FIFO-per-shard
+// keeps the fairness clustering's retry loop needs (a re-enqueued item is
+// never the next one popped from its shard).
 type Worklist[T any] struct {
+	s    *wlShared[T]
+	home int
+}
+
+type wlShard[T any] struct {
 	mu    sync.Mutex
 	items []T
 	head  int
+	_     [24]byte // keep neighboring shard mutexes off one cache line
+}
+
+type wlShared[T any] struct {
+	shards []wlShard[T]
 	// inflight counts items popped but not yet committed or re-pushed,
 	// so workers can distinguish "temporarily empty" from "done".
-	inflight int
+	inflight atomic.Int64
+	// pushes counts Push calls (monotonically); the termination check
+	// uses it to detect items that appeared behind an emptiness scan.
+	pushes atomic.Uint64
 }
 
-// NewWorklist creates a worklist seeded with items.
+// wlShards picks the shard count: the smallest power of two covering
+// GOMAXPROCS, at least 2 (so stealing is exercised even single-threaded)
+// and at most 64.
+func wlShards() int {
+	n := 2
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// NewWorklist creates a worklist seeded with items. The returned handle
+// is pinned to shard 0: pushes and pops through it are strictly FIFO.
 func NewWorklist[T any](items ...T) *Worklist[T] {
-	w := &Worklist[T]{}
-	w.items = append(w.items, items...)
-	return w
+	s := &wlShared[T]{shards: make([]wlShard[T], wlShards())}
+	s.shards[0].items = append(s.shards[0].items, items...)
+	return &Worklist[T]{s: s, home: 0}
 }
 
-// Push adds items to the worklist.
+// forWorker returns worker w's view of the same worklist.
+func (w *Worklist[T]) forWorker(i int) *Worklist[T] {
+	return &Worklist[T]{s: w.s, home: i % len(w.s.shards)}
+}
+
+// Push adds items to the worklist (on the view's home shard).
 func (w *Worklist[T]) Push(items ...T) {
-	w.mu.Lock()
-	w.items = append(w.items, items...)
-	w.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	sh := &w.s.shards[w.home]
+	sh.mu.Lock()
+	sh.items = append(sh.items, items...)
+	w.s.pushes.Add(1)
+	sh.mu.Unlock()
 }
 
 // Len returns the number of queued (not in-flight) items.
 func (w *Worklist[T]) Len() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.items) - w.head
+	n := 0
+	for i := range w.s.shards {
+		sh := &w.s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items) - sh.head
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// pop removes the oldest item, marking it in-flight. The second result is
-// false when the list is empty; the third reports whether the whole
-// computation is complete (empty and nothing in flight).
-func (w *Worklist[T]) pop() (T, bool, bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+// popShard removes the oldest item of shard i, marking it in-flight.
+func (s *wlShared[T]) popShard(i int) (T, bool) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
 	var zero T
-	if w.head == len(w.items) {
-		return zero, false, w.inflight == 0
+	if sh.head == len(sh.items) {
+		sh.mu.Unlock()
+		return zero, false
 	}
-	it := w.items[w.head]
-	w.items[w.head] = zero // release for GC
-	w.head++
-	if w.head == len(w.items) {
-		w.items = w.items[:0]
-		w.head = 0
-	} else if w.head > 1024 && w.head*2 > len(w.items) {
-		n := copy(w.items, w.items[w.head:])
-		w.items = w.items[:n]
-		w.head = 0
+	it := sh.items[sh.head]
+	sh.items[sh.head] = zero // release for GC
+	sh.head++
+	if sh.head == len(sh.items) {
+		sh.items = sh.items[:0]
+		sh.head = 0
+	} else if sh.head > 1024 && sh.head*2 > len(sh.items) {
+		n := copy(sh.items, sh.items[sh.head:])
+		sh.items = sh.items[:n]
+		sh.head = 0
 	}
-	w.inflight++
-	return it, true, false
+	// Inflight rises while the shard lock is held, before the item can be
+	// observed missing, so the termination scan cannot see "empty
+	// everywhere, nothing in flight" while an item is in limbo.
+	s.inflight.Add(1)
+	sh.mu.Unlock()
+	return it, true
+}
+
+// pop removes an item — home shard first, then stealing the oldest item
+// from the other shards — marking it in-flight. The second result is
+// false when every shard is empty; the third reports whether the whole
+// computation is complete (empty and nothing in flight).
+//
+// Termination is decided by a validated scan: observe inflight == 0,
+// snapshot the push counter, observe every shard empty, then confirm
+// both counters unchanged. New items only appear via Push, which bumps
+// the counter, and only workers holding an in-flight item (or an
+// external producer, likewise counted) push — so an unchanged counter
+// pair proves the emptiness observations describe one coherent instant.
+func (w *Worklist[T]) pop() (T, bool, bool) {
+	s := w.s
+	n := len(s.shards)
+	for off := 0; off < n; off++ {
+		if it, ok := s.popShard((w.home + off) % n); ok {
+			return it, true, false
+		}
+	}
+	var zero T
+	if s.inflight.Load() != 0 {
+		return zero, false, false
+	}
+	p1 := s.pushes.Load()
+	for i := 0; i < n; i++ {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		empty := sh.head == len(sh.items)
+		sh.mu.Unlock()
+		if !empty {
+			return zero, false, false
+		}
+	}
+	done := s.pushes.Load() == p1 && s.inflight.Load() == 0
+	return zero, false, done
 }
 
 // done marks a popped item finished (committed or abandoned).
 func (w *Worklist[T]) done() {
-	w.mu.Lock()
-	w.inflight--
-	w.mu.Unlock()
+	w.s.inflight.Add(-1)
 }

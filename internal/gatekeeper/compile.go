@@ -1,0 +1,199 @@
+package gatekeeper
+
+import (
+	"fmt"
+
+	"commlat/internal/core"
+)
+
+// This file compiles pair conditions into closure trees once, at
+// gatekeeper construction time. The seed runtime re-substituted logged
+// values into the condition AST (core.SubstTerms) and re-interpreted it
+// (core.Eval) on every check, allocating a fresh substitution map each
+// time; a compiled checker instead binds logged and pre-evaluated values
+// by precomputed slot index and evaluates with zero allocations on the
+// hot path.
+
+// unsetValue marks a slot whose value could not be captured (the general
+// gatekeeper skips terms that fail to evaluate under rollback, exactly
+// as the seed skipped their substitution); the compiled reader then
+// falls back to live structural evaluation.
+type unsetValue struct{}
+
+var unset core.Value = unsetValue{}
+
+// checkCtx is the per-check evaluation context. log1 holds the first
+// (active) invocation's logged slot values; pre2 holds the
+// pre-evaluated stateful values of the pair's plan (fn2Pre slots for
+// forward gatekeepers, fn2 slots for general ones). Slices may be nil
+// when a plan has no slots of that kind.
+type checkCtx struct {
+	env  core.PairEnv
+	log1 []core.Value
+	pre2 []core.Value
+}
+
+type checkFn func(ctx *checkCtx) (bool, error)
+type termFn func(ctx *checkCtx) (core.Value, error)
+
+// slotBinding maps a term (by canonical key) to a slot in one of the two
+// context slices. src selects the slice: srcLog1 or srcPre2.
+type slotBinding struct {
+	src  int
+	slot int
+}
+
+const (
+	srcLog1 = iota
+	srcPre2
+)
+
+// compileCond compiles a condition into a checker. bind resolves terms
+// that have recorded values (logged primitive-function results,
+// pre-evaluated state functions) to their slots; every other term is
+// compiled structurally, resolving state functions through res at check
+// time (sound for pure functions, which ignore state — the only
+// functions a correct plan leaves unbound).
+func compileCond(c core.Cond, bind map[string]slotBinding, res core.StateFn) checkFn {
+	switch x := c.(type) {
+	case core.TrueCond:
+		return func(*checkCtx) (bool, error) { return true, nil }
+	case core.FalseCond:
+		return func(*checkCtx) (bool, error) { return false, nil }
+	case core.NotCond:
+		inner := compileCond(x.C, bind, res)
+		return func(ctx *checkCtx) (bool, error) {
+			b, err := inner(ctx)
+			return !b, err
+		}
+	case core.AndCond:
+		l := compileCond(x.L, bind, res)
+		r := compileCond(x.R, bind, res)
+		return func(ctx *checkCtx) (bool, error) {
+			lb, err := l(ctx)
+			if err != nil || !lb {
+				return false, err
+			}
+			return r(ctx)
+		}
+	case core.OrCond:
+		l := compileCond(x.L, bind, res)
+		r := compileCond(x.R, bind, res)
+		return func(ctx *checkCtx) (bool, error) {
+			lb, err := l(ctx)
+			if err != nil || lb {
+				return lb, err
+			}
+			return r(ctx)
+		}
+	case core.CmpCond:
+		lt := compileTerm(x.L, bind, res)
+		rt := compileTerm(x.R, bind, res)
+		op := x.Op
+		return func(ctx *checkCtx) (bool, error) {
+			l, err := lt(ctx)
+			if err != nil {
+				return false, err
+			}
+			r, err := rt(ctx)
+			if err != nil {
+				return false, err
+			}
+			return core.Cmp(op, l, r)
+		}
+	default:
+		panic(fmt.Sprintf("gatekeeper: unknown condition %T", c))
+	}
+}
+
+func compileTerm(t core.Term, bind map[string]slotBinding, res core.StateFn) termFn {
+	if b, ok := bind[core.TermKey(t)]; ok {
+		// Recorded value, read by slot index. Falls back to structural
+		// evaluation when the recording pass could not capture it.
+		live := compileTermStructural(t, bind, res)
+		src, slot := b.src, b.slot
+		return func(ctx *checkCtx) (core.Value, error) {
+			s := ctx.log1
+			if src == srcPre2 {
+				s = ctx.pre2
+			}
+			if slot < len(s) {
+				if v := s[slot]; v != unset {
+					return v, nil
+				}
+			}
+			return live(ctx)
+		}
+	}
+	return compileTermStructural(t, bind, res)
+}
+
+func compileTermStructural(t core.Term, bind map[string]slotBinding, res core.StateFn) termFn {
+	switch x := t.(type) {
+	case core.ArgTerm:
+		idx := x.Index
+		if x.Side == core.First {
+			return func(ctx *checkCtx) (core.Value, error) {
+				if idx < 0 || idx >= len(ctx.env.Inv1.Args) {
+					return nil, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv1.Method, idx)
+				}
+				return ctx.env.Inv1.Args[idx], nil
+			}
+		}
+		return func(ctx *checkCtx) (core.Value, error) {
+			if idx < 0 || idx >= len(ctx.env.Inv2.Args) {
+				return nil, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv2.Method, idx)
+			}
+			return ctx.env.Inv2.Args[idx], nil
+		}
+	case core.RetTerm:
+		if x.Side == core.First {
+			return func(ctx *checkCtx) (core.Value, error) { return ctx.env.Inv1.Ret, nil }
+		}
+		return func(ctx *checkCtx) (core.Value, error) { return ctx.env.Inv2.Ret, nil }
+	case core.ConstTerm:
+		v := x.V
+		return func(*checkCtx) (core.Value, error) { return v, nil }
+	case core.FnTerm:
+		fn := x.Fn
+		argFns := make([]termFn, len(x.Args))
+		for i, a := range x.Args {
+			argFns[i] = compileTerm(a, bind, res)
+		}
+		return func(ctx *checkCtx) (core.Value, error) {
+			if res == nil {
+				return nil, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, fn)
+			}
+			args := make([]core.Value, len(argFns))
+			for i, af := range argFns {
+				v, err := af(ctx)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			v, err := res(fn, args)
+			if err != nil {
+				return nil, err
+			}
+			return core.Norm(v), nil
+		}
+	case core.ArithTerm:
+		lt := compileTerm(x.L, bind, res)
+		rt := compileTerm(x.R, bind, res)
+		op := x.Op
+		return func(ctx *checkCtx) (core.Value, error) {
+			l, err := lt(ctx)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rt(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return core.Arith(op, l, r)
+		}
+	default:
+		panic(fmt.Sprintf("gatekeeper: unknown term %T", t))
+	}
+}

@@ -31,40 +31,79 @@ type Effect struct {
 
 // entry is an active logged invocation: the invocation itself plus the
 // result log L_m(v) holding the values of the primitive functions Cm
-// evaluated when it ran (§3.3.1 step 1).
+// evaluated when it ran (§3.3.1 step 1), stored by slot index (the slot
+// assignment is per method, fixed at NewForward time).
 type entry struct {
 	tx  *engine.Tx
 	inv core.Invocation
-	log map[string]core.Value // keyed by canonical term string
+	log []core.Value
+}
+
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
+
+// loggedFn is one primitive function of Cm with its assigned log slot.
+type loggedFn struct {
+	ft   core.FnTerm
+	slot int
 }
 
 // fwdPlan is the static per-ordered-pair plan: the condition to check
-// when the second method arrives while the first is active, plus the
-// non-pure s2-state functions that must be evaluated before the second
-// method executes.
+// when the second method arrives while the first is active (compiled
+// into a closure checker at NewForward time), plus the non-pure
+// s2-state functions that must be evaluated before the second method
+// executes, each bound to a pre2 slot by position.
 type fwdPlan struct {
 	cond    core.Cond
 	fn2Pre  []core.FnTerm
+	check   checkFn
 	trivial bool // condition is the constant true: nothing to check
 	never   bool // condition is the constant false
+}
+
+// pairCheck names an active-side method whose pairs with the incoming
+// method need checking, with the plan to run.
+type pairCheck struct {
+	m1   string
+	plan *fwdPlan
+}
+
+// pending is one queued commutativity check of an Invoke: the active
+// entry, the plan, and the plan's pre-evaluated fn2Pre values as a
+// window into the shared pre2 arena.
+type pending struct {
+	e    *entry
+	plan *fwdPlan
+	off  int
+	n    int
 }
 
 // Forward is a forward gatekeeper (§3.3.1): it builds up information
 // about method invocations as they happen, storing primitive-function
 // results in per-invocation logs, and verifies that every new invocation
-// commutes with all active invocations from other transactions.
+// commutes with all active invocations from other transactions. Active
+// entries are indexed by method, so an incoming invocation only scans
+// methods whose pair condition with it is non-trivial; pairs whose
+// condition is the constant true cost nothing.
 type Forward struct {
 	spec *core.Spec
 	res  core.StateFn // live resolver against the guarded structure
 
-	pairs  map[[2]string]*fwdPlan
-	cmPre  map[string][]core.FnTerm // Cm: non-pure s1 functions, evaluated pre-execution
-	cmPost map[string][]core.FnTerm // Cm: pure s1 functions, evaluated post-execution
+	pairs   map[[2]string]*fwdPlan
+	cmPre   map[string][]loggedFn // Cm: non-pure s1 functions, evaluated pre-execution
+	cmPost  map[string][]loggedFn // Cm: pure s1 functions, evaluated post-execution
+	logLen  map[string]int        // log slots per method
+	byFirst map[string][]pairCheck
 
 	mu      sync.Mutex
-	entries []*entry
+	active  map[string][]*entry // active invocations, indexed by method
+	nActive int
 	hooked  map[*engine.Tx]bool
 	stats   Stats
+
+	// per-Invoke scratch, reused under mu to keep the hot path
+	// allocation-free
+	checks  []pending
+	pre2buf []core.Value
 }
 
 // Stats counts the work a gatekeeper performed — the raw material of the
@@ -84,14 +123,17 @@ type Stats struct {
 // value before it is known).
 func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 	g := &Forward{
-		spec:   spec,
-		res:    res,
-		pairs:  map[[2]string]*fwdPlan{},
-		cmPre:  map[string][]core.FnTerm{},
-		cmPost: map[string][]core.FnTerm{},
-		hooked: map[*engine.Tx]bool{},
+		spec:    spec,
+		res:     res,
+		pairs:   map[[2]string]*fwdPlan{},
+		cmPre:   map[string][]loggedFn{},
+		cmPost:  map[string][]loggedFn{},
+		logLen:  map[string]int{},
+		byFirst: map[string][]pairCheck{},
+		active:  map[string][]*entry{},
+		hooked:  map[*engine.Tx]bool{},
 	}
-	cmSeen := map[string]map[string]bool{}
+	logSlots := map[string]map[string]int{} // m1 -> term key -> log slot
 	names := spec.Sig.MethodNames()
 	for _, m1 := range names {
 		for _, m2 := range names {
@@ -110,16 +152,16 @@ func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 			// the condition) and schedule each: pure functions evaluate
 			// after execution (the return value is then available);
 			// non-pure functions must run in the pre-state and therefore
-			// may not mention r1.
+			// may not mention r1. Every logged function gets a stable slot
+			// in m1's log.
 			for _, ft := range core.FirstStateFns(cond) {
-				if cmSeen[m1] == nil {
-					cmSeen[m1] = map[string]bool{}
+				if logSlots[m1] == nil {
+					logSlots[m1] = map[string]int{}
 				}
 				key := core.TermKey(ft)
-				if cmSeen[m1][key] {
+				if _, seen := logSlots[m1][key]; seen {
 					continue
 				}
-				cmSeen[m1][key] = true
 				if spec.Pure[ft.Fn] {
 					// Pure functions over first-invocation values are
 					// logged after execution (the paper's dist(x, r) log
@@ -128,13 +170,17 @@ func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 					// at check time instead, which is sound because they
 					// are state-independent.
 					if !mentionsSide(ft, core.Second) {
-						g.cmPost[m1] = append(g.cmPost[m1], ft)
+						slot := len(logSlots[m1])
+						logSlots[m1][key] = slot
+						g.cmPost[m1] = append(g.cmPost[m1], loggedFn{ft, slot})
 					}
 				} else {
 					if mentionsRet(ft, core.First) {
 						return nil, fmt.Errorf("gatekeeper: %s needs non-pure %s(s1,...) over r1, which cannot be evaluated in the pre-state", m1, ft.Fn)
 					}
-					g.cmPre[m1] = append(g.cmPre[m1], ft)
+					slot := len(logSlots[m1])
+					logSlots[m1][key] = slot
+					g.cmPre[m1] = append(g.cmPre[m1], loggedFn{ft, slot})
 				}
 			}
 			// Non-pure s2 functions must be evaluated in the state the
@@ -155,8 +201,33 @@ func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 			g.pairs[[2]string{m1, m2}] = plan
 		}
 	}
+	for m := range logSlots {
+		g.logLen[m] = len(logSlots[m])
+	}
+	// Compile every plan's condition, binding logged s1 functions to the
+	// first method's log slots and pre-evaluated s2 functions to the
+	// plan's fn2Pre slots, and index the non-trivial pairs by incoming
+	// (second) method so Invoke skips always-commuting methods entirely.
+	for _, m1 := range names {
+		for _, m2 := range names {
+			plan := g.pairs[[2]string{m1, m2}]
+			bind := map[string]slotBinding{}
+			for k, slot := range logSlots[m1] {
+				bind[k] = slotBinding{src: srcLog1, slot: slot}
+			}
+			for i, ft := range plan.fn2Pre {
+				bind[core.TermKey(ft)] = slotBinding{src: srcPre2, slot: i}
+			}
+			plan.check = compileCond(cond2(plan), bind, res)
+			if !plan.trivial {
+				g.byFirst[m2] = append(g.byFirst[m2], pairCheck{m1: m1, plan: plan})
+			}
+		}
+	}
 	return g, nil
 }
+
+func cond2(p *fwdPlan) core.Cond { return p.cond }
 
 // Invoke executes one guarded method invocation for tx. exec performs the
 // operation on the underlying structure and reports its effect. If the
@@ -170,54 +241,57 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	defer g.mu.Unlock()
 	g.stats.Invocations++
 
-	inv := core.NewInvocation(method, args, nil)
+	e := entryPool.Get().(*entry)
+	e.tx = tx
+	e.inv = core.NewInvocation(method, args, nil)
+	if n := g.logLen[method]; cap(e.log) >= n {
+		e.log = e.log[:n]
+	} else {
+		e.log = make([]core.Value, n)
+	}
 
 	// Pre-pass A: our own non-pure s1 functions, in the pre-state.
-	log := map[string]core.Value{}
-	preEnv := &core.PairEnv{Inv1: inv, S1: g.res, S2: g.res}
-	for _, ft := range g.cmPre[method] {
-		v, err := core.EvalTerm(ft, preEnv)
+	preEnv := core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}
+	for _, lf := range g.cmPre[method] {
+		v, err := core.EvalTerm(lf.ft, &preEnv)
 		if err != nil {
-			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", ft, method, err)
+			g.putEntry(e)
+			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
-		log[core.TermKey(ft)] = v
+		e.log[lf.slot] = v
 		g.stats.LogEntries++
 	}
 
-	// Pre-pass B: per active invocation, the non-pure s2 functions of the
-	// condition we are about to check, in the state m2 executes in.
-	type pending struct {
-		e    *entry
-		plan *fwdPlan
-		sub  map[string]core.Value
-	}
-	var checks []pending
-	for _, e := range g.entries {
-		if e.tx == tx {
-			continue
-		}
-		plan := g.pairs[[2]string{e.inv.Method, method}]
-		if plan.trivial {
-			continue
-		}
-		p := pending{e: e, plan: plan}
-		if len(plan.fn2Pre) > 0 {
-			p.sub = map[string]core.Value{}
-			env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
-			for _, ft := range plan.fn2Pre {
-				v, err := core.EvalTerm(ft, env)
-				if err != nil {
-					return nil, fmt.Errorf("gatekeeper: evaluating %s for (%s,%s): %w", ft, e.inv.Method, method, err)
-				}
-				p.sub[core.TermKey(ft)] = v
+	// Pre-pass B: per active invocation of a non-trivially-paired
+	// method, the non-pure s2 functions of the condition we are about to
+	// check, in the state m2 executes in.
+	g.checks = g.checks[:0]
+	g.pre2buf = g.pre2buf[:0]
+	env := core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}
+	for _, pc := range g.byFirst[method] {
+		for _, ae := range g.active[pc.m1] {
+			if ae.tx == tx {
+				continue
 			}
+			p := pending{e: ae, plan: pc.plan, off: len(g.pre2buf), n: len(pc.plan.fn2Pre)}
+			if p.n > 0 {
+				env.Inv1 = ae.inv
+				for _, ft := range pc.plan.fn2Pre {
+					v, err := core.EvalTerm(ft, &env)
+					if err != nil {
+						g.putEntry(e)
+						return nil, fmt.Errorf("gatekeeper: evaluating %s for (%s,%s): %w", ft, ae.inv.Method, method, err)
+					}
+					g.pre2buf = append(g.pre2buf, v)
+				}
+			}
+			g.checks = append(g.checks, p)
 		}
-		checks = append(checks, p)
 	}
 
 	// Execute.
 	eff := exec()
-	inv.Ret = core.Norm(eff.Ret)
+	e.inv.Ret = core.Norm(eff.Ret)
 	undoNow := func() {
 		if eff.Undo != nil {
 			eff.Undo()
@@ -225,49 +299,55 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	}
 
 	// Post-pass: our pure s1 functions (may use the return value).
-	postEnv := &core.PairEnv{Inv1: inv, S1: g.res, S2: g.res}
-	for _, ft := range g.cmPost[method] {
-		v, err := core.EvalTerm(ft, postEnv)
+	postEnv := core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}
+	for _, lf := range g.cmPost[method] {
+		v, err := core.EvalTerm(lf.ft, &postEnv)
 		if err != nil {
 			undoNow()
-			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", ft, method, err)
+			g.putEntry(e)
+			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
-		log[core.TermKey(ft)] = v
+		e.log[lf.slot] = v
 		g.stats.LogEntries++
 	}
 
-	// Check commutativity against every active invocation.
-	for _, p := range checks {
+	// Check commutativity against every queued active invocation with
+	// the pair's compiled checker.
+	ctx := checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
+	for i := range g.checks {
+		p := &g.checks[i]
 		g.stats.Checks++
 		if p.plan.never {
 			undoNow()
 			g.stats.Conflicts++
+			method1, tx1 := p.e.inv.Method, p.e.tx.ID()
+			g.putEntry(e)
 			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
-				method, p.e.inv.Method, p.e.tx.ID())
+				method, method1, tx1)
 		}
-		sub := map[string]core.Value{}
-		for k, v := range p.e.log {
-			sub[k] = v
-		}
-		for k, v := range p.sub {
-			sub[k] = v
-		}
-		cond := core.SubstTerms(p.plan.cond, sub)
-		ok, err := core.Eval(cond, &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res})
+		ctx.env.Inv1 = p.e.inv
+		ctx.log1 = p.e.log
+		ctx.pre2 = g.pre2buf[p.off : p.off+p.n]
+		ok, err := p.plan.check(&ctx)
 		if err != nil {
 			undoNow()
+			g.putEntry(e)
 			return eff.Ret, fmt.Errorf("gatekeeper: checking (%s,%s): %w", p.e.inv.Method, method, err)
 		}
 		if !ok {
 			undoNow()
 			g.stats.Conflicts++
+			inv1 := p.e.inv
+			tx1 := p.e.tx.ID()
+			g.putEntry(e)
 			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
-				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
+				method, args, inv1.Method, inv1.Args, tx1)
 		}
 	}
 
 	// Success: record as active, wire transaction hooks.
-	g.entries = append(g.entries, &entry{tx: tx, inv: inv, log: log})
+	g.active[method] = append(g.active[method], e)
+	g.nActive++
 	if !g.hooked[tx] {
 		g.hooked[tx] = true
 		tx.OnRelease(func() { g.release(tx) })
@@ -283,18 +363,37 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	return eff.Ret, nil
 }
 
+// putEntry recycles an entry whose invocation did not join the active
+// log (or just left it).
+func (g *Forward) putEntry(e *entry) {
+	e.tx = nil
+	e.inv = core.Invocation{}
+	for i := range e.log {
+		e.log[i] = nil
+	}
+	entryPool.Put(e)
+}
+
 // release drops all of tx's active invocations and their logs (§3.3.1
 // step 4). Installed automatically as a transaction release hook.
 func (g *Forward) release(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	kept := g.entries[:0]
-	for _, e := range g.entries {
-		if e.tx != tx {
-			kept = append(kept, e)
+	for m, es := range g.active {
+		kept := es[:0]
+		for _, e := range es {
+			if e.tx != tx {
+				kept = append(kept, e)
+			} else {
+				g.nActive--
+				g.putEntry(e)
+			}
 		}
+		for i := len(kept); i < len(es); i++ {
+			es[i] = nil
+		}
+		g.active[m] = kept
 	}
-	g.entries = kept
 	delete(g.hooked, tx)
 }
 
@@ -303,7 +402,7 @@ func (g *Forward) release(tx *engine.Tx) {
 func (g *Forward) ActiveInvocations() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.entries)
+	return g.nActive
 }
 
 // Stats returns a snapshot of the gatekeeper's work counters.

@@ -25,11 +25,15 @@ type GEffect struct {
 // genPlan is the static per-ordered-pair plan for a general gatekeeper:
 // the condition plus which state functions must be evaluated under
 // rollback at s1 (the active invocation's pre-state) and at s2 (the new
-// invocation's pre-state).
+// invocation's pre-state). The condition is compiled once into a closure
+// checker whose stateful terms read the rollback-captured values by slot
+// (falling back to live evaluation for slots the rollback sweep could
+// not fill, mirroring the seed's skip-on-error substitution).
 type genPlan struct {
 	cond    core.Cond
 	fn1     []core.FnTerm // all non-pure s1 functions: evaluated at s1 via rollback
 	fn2     []core.FnTerm // all non-pure s2 functions: evaluated at s2 via rollback
+	check   checkFn
 	trivial bool
 	never   bool
 }
@@ -48,6 +52,16 @@ type gentry struct {
 	tx     *engine.Tx
 	inv    core.Invocation
 	seqPre uint64 // state s1 = current state with journal entries seq > seqPre undone
+}
+
+// gpending is one queued check of an Invoke: the active entry, the plan,
+// and the windows into the shared value arena holding the
+// rollback-captured fn1 and fn2 values.
+type gpending struct {
+	e        *gentry
+	plan     *genPlan
+	off1, n1 int
+	off2, n2 int
 }
 
 // General is a general gatekeeper (§3.3.2): a forward-style active log
@@ -76,6 +90,10 @@ type General struct {
 	entries []*gentry
 	hooked  map[*engine.Tx]bool
 	stats   Stats
+
+	// per-Invoke scratch, reused under mu
+	checks []gpending
+	valbuf []core.Value
 }
 
 // NewGeneral constructs a general gatekeeper for spec over a structure
@@ -117,6 +135,14 @@ func NewGeneral(spec *core.Spec, res core.StateFn) (*General, error) {
 				}
 				plan.fn2 = append(plan.fn2, ft)
 			}
+			bind := map[string]slotBinding{}
+			for i, ft := range plan.fn1 {
+				bind[core.TermKey(ft)] = slotBinding{src: srcLog1, slot: i}
+			}
+			for i, ft := range plan.fn2 {
+				bind[core.TermKey(ft)] = slotBinding{src: srcPre2, slot: i}
+			}
+			plan.check = compileCond(cond, bind, res)
 			g.pairs[[2]string{m1, m2}] = plan
 		}
 	}
@@ -149,13 +175,12 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 
 	// Gather the checks and the rollback points they need. Evaluation at
 	// "state seqPre" means: every journal entry with seq > seqPre undone.
-	type pending struct {
-		e    *gentry
-		plan *genPlan
-		sub  map[string]core.Value
-	}
-	var checks []pending
-	needState := map[uint64][]int{} // rollback point -> indices into checks needing fn1 there
+	// Slot values start as unset; slots the rollback sweep leaves unset
+	// are evaluated live (against the restored current state) by the
+	// compiled checker.
+	g.checks = g.checks[:0]
+	g.valbuf = g.valbuf[:0]
+	var needState map[uint64][]int // rollback point -> indices into checks needing fn1 there
 	needS2 := false
 	for _, e := range g.entries {
 		if e.tx == tx {
@@ -165,22 +190,29 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		if plan.trivial {
 			continue
 		}
-		p := pending{e: e, plan: plan, sub: map[string]core.Value{}}
-		idx := len(checks)
-		checks = append(checks, p)
-		if len(plan.fn1) > 0 {
+		p := gpending{e: e, plan: plan}
+		p.n1, p.n2 = len(plan.fn1), len(plan.fn2)
+		p.off1 = len(g.valbuf)
+		p.off2 = p.off1 + p.n1
+		for i := 0; i < p.n1+p.n2; i++ {
+			g.valbuf = append(g.valbuf, unset)
+		}
+		idx := len(g.checks)
+		g.checks = append(g.checks, p)
+		if p.n1 > 0 {
+			if needState == nil {
+				needState = map[uint64][]int{}
+			}
 			needState[e.seqPre] = append(needState[e.seqPre], idx)
 		}
-		if len(plan.fn2) > 0 {
+		if p.n2 > 0 {
 			needS2 = true
 		}
 	}
 
 	if len(needState) > 0 || needS2 {
 		g.stats.Rollbacks++
-		g.rollbackEval(inv, seqPre, len(checks), needState, needS2, func(i int) (*gentry, *genPlan, map[string]core.Value) {
-			return checks[i].e, checks[i].plan, checks[i].sub
-		})
+		g.rollbackEval(inv, seqPre, needState, needS2)
 	}
 
 	undoOwn := func() {
@@ -190,7 +222,9 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 	}
 
-	for _, p := range checks {
+	ctx := checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
+	for i := range g.checks {
+		p := &g.checks[i]
 		g.stats.Checks++
 		if p.plan.never {
 			undoOwn()
@@ -198,8 +232,10 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
 				method, p.e.inv.Method, p.e.tx.ID())
 		}
-		cond := core.SubstTerms(p.plan.cond, p.sub)
-		ok, err := core.Eval(cond, &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res})
+		ctx.env.Inv1 = p.e.inv
+		ctx.log1 = g.valbuf[p.off1 : p.off1+p.n1]
+		ctx.pre2 = g.valbuf[p.off2 : p.off2+p.n2]
+		ok, err := p.plan.check(&ctx)
 		if err != nil {
 			undoOwn()
 			return eff.Ret, fmt.Errorf("gatekeeper: checking (%s,%s): %w", p.e.inv.Method, method, err)
@@ -223,11 +259,9 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 
 // rollbackEval performs one backward sweep over the journal, pausing at
 // each required rollback point to evaluate the stateful condition terms
-// that belong there, then replays the journal forward.
-func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, nChecks int,
-	needState map[uint64][]int, needS2 bool,
-	get func(i int) (*gentry, *genPlan, map[string]core.Value)) {
-
+// that belong there into the checks' arena slots, then replays the
+// journal forward. Terms that fail to evaluate leave their slot unset.
+func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, needState map[uint64][]int, needS2 bool) {
 	points := make([]uint64, 0, len(needState)+1)
 	for p := range needState {
 		points = append(points, p)
@@ -253,22 +287,22 @@ func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, nChecks int,
 		evalAt(pt)
 		if needS2 && pt == seqPre {
 			// State s2: evaluate the non-pure fn2 terms of every check.
-			for i := 0; i < nChecks; i++ {
-				e, plan, sub := get(i)
-				env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
-				for _, ft := range plan.fn2 {
+			for i := range g.checks {
+				p := &g.checks[i]
+				env := &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res}
+				for j, ft := range p.plan.fn2 {
 					if v, err := core.EvalTerm(ft, env); err == nil {
-						sub[core.TermKey(ft)] = v
+						g.valbuf[p.off2+j] = v
 					}
 				}
 			}
 		}
 		for _, i := range needState[pt] {
-			e, plan, sub := get(i)
-			env := &core.PairEnv{Inv1: e.inv, Inv2: inv, S1: g.res, S2: g.res}
-			for _, ft := range plan.fn1 {
+			p := &g.checks[i]
+			env := &core.PairEnv{Inv1: p.e.inv, Inv2: inv, S1: g.res, S2: g.res}
+			for j, ft := range p.plan.fn1 {
 				if v, err := core.EvalTerm(ft, env); err == nil {
-					sub[core.TermKey(ft)] = v
+					g.valbuf[p.off1+j] = v
 				}
 			}
 		}
