@@ -445,3 +445,132 @@ func BenchmarkForwardHotPath(b *testing.B) {
 	b.Run("checks", func(b *testing.B) { benchForwardHotPath(b, "add", 8) })
 	b.Run("trivial", func(b *testing.B) { benchForwardHotPath(b, "contains", 64) })
 }
+
+// --- Disequality-index window sweeps --------------------------------------
+//
+// A long-lived holder transaction keeps `window` adds on distinct keys
+// active; each measured invocation adds yet another distinct key. With
+// the disequality index every probe misses and the cost is flat in the
+// window; with the index disabled (the seed behaviour) every active
+// entry is scanned and checked, so cost grows linearly.
+
+func benchForwardWindow(b *testing.B, disable bool, window int) {
+	b.Helper()
+	g, err := gatekeeper.NewForwardConfig(intset.PreciseSpec(), nil,
+		gatekeeper.Config{DisableIndex: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := g.Invoke(holder, "add", []core.Value{-i}, func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: true}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.NewTx()
+		k := base | int64(n&8191)
+		if _, err := g.Invoke(tx, "add", []core.Value{k}, func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: true}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+	}
+}
+
+func BenchmarkForwardIndexed(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"indexed", false}, {"scan", true}} {
+		for _, w := range []int{64, 512, 4096} {
+			b.Run(fmt.Sprintf("%s/window=%d", mode.name, w), func(b *testing.B) {
+				benchForwardWindow(b, mode.disable, w)
+			})
+		}
+	}
+}
+
+func benchGeneralSetWindow(b *testing.B, disable bool, window int) {
+	b.Helper()
+	g, err := gatekeeper.NewGeneralConfig(intset.PreciseSpec(), nil,
+		gatekeeper.Config{DisableIndex: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := g.Invoke(holder, "add", []core.Value{-i}, func() gatekeeper.GEffect {
+			return gatekeeper.GEffect{Ret: true}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.NewTx()
+		k := base | int64(n&8191)
+		if _, err := g.Invoke(tx, "add", []core.Value{k}, func() gatekeeper.GEffect {
+			return gatekeeper.GEffect{Ret: true}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+	}
+}
+
+// benchGeneralUFWindow measures the documented fallback regime: the
+// union-find conditions guard on rep(s1, ·) of second-invocation
+// values, which admits no first/second side split, so union pairs scan
+// regardless of the index. A window of active finds is checked by each
+// incoming union via the rollback path.
+func benchGeneralUFWindow(b *testing.B, window int) {
+	b.Helper()
+	uf := unionfind.NewGeneric(1 << 20)
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(0); i < int64(window); i++ {
+		if _, err := uf.Find(holder, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.NewTx()
+		a := base + int64(n%(1<<18))*2
+		if _, err := uf.Union(tx, a, a+1); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+	}
+}
+
+func BenchmarkGeneralIndexed(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"indexed", false}, {"scan", true}} {
+		for _, w := range []int{64, 512, 4096} {
+			b.Run(fmt.Sprintf("set/%s/window=%d", mode.name, w), func(b *testing.B) {
+				benchGeneralSetWindow(b, mode.disable, w)
+			})
+		}
+	}
+	for _, w := range []int{64, 256} {
+		b.Run(fmt.Sprintf("unionfind-fallback/window=%d", w), func(b *testing.B) {
+			benchGeneralUFWindow(b, w)
+		})
+	}
+}

@@ -188,6 +188,7 @@ func cmdTable2(args []string) error {
 	fs.IntVar(&cfg.Threads, "threads", cfg.Threads, "overlap window / threads (paper: 4)")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "stream seed")
 	fs.BoolVar(&cfg.Extended, "ext", false, "add extension rows (liberal locks, object STM)")
+	stats := fs.Bool("stats", false, "print gatekeeper work counters (probes, collisions, fallbacks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,6 +197,10 @@ func cmdTable2(args []string) error {
 		return err
 	}
 	fmt.Print(bench.FormatTable2(rows))
+	if *stats {
+		fmt.Println()
+		fmt.Print(bench.FormatTable2Stats(rows))
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"commlat/internal/adt/intset"
 	"commlat/internal/engine"
+	"commlat/internal/gatekeeper"
 	"commlat/internal/workload"
 )
 
@@ -20,6 +21,25 @@ type Table2Row struct {
 	RepeatedAborts   float64
 	RepeatedSeconds  float64
 	DistinctElements []int64 // final set contents (for validation); nil in reports
+
+	// DistinctGate and RepeatedGate hold the gatekeeper's internal work
+	// counters for each input, for schemes backed by one (nil otherwise).
+	DistinctGate *gatekeeper.Stats
+	RepeatedGate *gatekeeper.Stats
+}
+
+// gateStatser is implemented by schemes backed by a gatekeeper that can
+// report its work counters (probes, collisions, fallback scans, ...).
+type gateStatser interface {
+	GateStats() gatekeeper.Stats
+}
+
+func captureGate(s intset.Set) *gatekeeper.Stats {
+	if gs, ok := s.(gateStatser); ok {
+		st := gs.GateStats()
+		return &st
+	}
+	return nil
 }
 
 // Table2Config sizes the set microbenchmark. The paper runs 1M operations
@@ -149,9 +169,34 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			DistinctSeconds: durD.Seconds(),
 			RepeatedAborts:  statsR.AbortRatio(),
 			RepeatedSeconds: durR.Seconds(),
+			DistinctGate:    captureGate(sd),
+			RepeatedGate:    captureGate(sr),
 		})
 	}
 	return rows, nil
+}
+
+// FormatTable2Stats renders the gatekeeper work counters collected by
+// Table2 for the schemes that expose them — one line per scheme and
+// input, showing how the disequality index fared (probes vs. collisions
+// vs. full-scan fallbacks) alongside the checker workload.
+func FormatTable2Stats(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-9s %12s %12s %12s %12s %12s %12s\n",
+		"Gatekeeper stats", "Input", "Invocations", "Checks", "Conflicts", "Probes", "Collisions", "Fallbacks")
+	line := func(scheme, input string, st *gatekeeper.Stats) {
+		fmt.Fprintf(&b, "%-18s %-9s %12d %12d %12d %12d %12d %12d\n",
+			scheme, input, st.Invocations, st.Checks, st.Conflicts, st.Probes, st.Collisions, st.FallbackScans)
+	}
+	for _, r := range rows {
+		if r.DistinctGate != nil {
+			line(r.Scheme, "distinct", r.DistinctGate)
+		}
+		if r.RepeatedGate != nil {
+			line(r.Scheme, "repeats", r.RepeatedGate)
+		}
+	}
+	return b.String()
 }
 
 // FormatTable2 renders rows in the paper's layout.

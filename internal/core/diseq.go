@@ -1,0 +1,204 @@
+package core
+
+// Disequality decomposition for the gatekeepers' hash index.
+//
+// The paper's abstract-locking scheme (§3.2) exploits the observation
+// that SIMPLE conditions are conjunctions of slot disequalities, so
+// commutativity can be decided by hashing on slot values instead of
+// pairwise checks. This file generalizes that observation to the richer
+// conditions the gatekeepers handle: it extracts, from an arbitrary L1
+// condition, a set of disequality "guards" x ≠ y such that the
+// condition is implied whenever every guard holds. A gatekeeper can
+// then index active invocations by the x-values and run the full
+// checker only on hash collisions.
+//
+// Soundness rests on a conjunctive-normal-form argument: if every CNF
+// clause of the condition contains a disequality literal x ≠ y with x
+// computable from the first invocation alone and y from the second,
+// then "all those disequalities hold" makes every clause true, hence
+// the whole condition true. A probe that misses every guard key can
+// therefore skip the checker entirely. Partial coverage is useless —
+// one satisfied clause says nothing about the others — so decomposition
+// is all-or-nothing.
+
+// DiseqGuard is one extracted disequality x ≠ y. X mentions only the
+// first invocation (its values, and — for gatekeepers with logs — its
+// state functions); Y mentions only the second invocation or constants.
+// If the two evaluate to different values the guard's CNF clause is
+// satisfied.
+type DiseqGuard struct {
+	X Term // first-invocation side: the indexed key
+	Y Term // second-invocation side: the probe key
+}
+
+// DiseqDecomp is the result of DecomposeDiseq.
+type DiseqDecomp struct {
+	// Guards holds one disequality per CNF clause (deduplicated).
+	// Non-empty only when Indexable.
+	Guards []DiseqGuard
+	// Indexable reports that every CNF clause of the condition
+	// contributed a guard, so "all guards hold" implies the condition.
+	Indexable bool
+	// Pure reports that the condition is exactly the conjunction of the
+	// guards' disequalities (no residual): a collision on any guard
+	// falsifies the condition outright, so a conflict can be declared
+	// without evaluating the checker. (NaN collisions are excluded by
+	// the caller: NaN ≠ NaN holds under ValueEq.)
+	Pure bool
+}
+
+// maxCNFClauses bounds the distribution of ∨ over ∧ when converting a
+// condition to CNF. Past this the decomposition gives up and reports
+// not-indexable; real specifications' conditions are tiny.
+const maxCNFClauses = 32
+
+// DecomposeDiseq analyzes a pair condition for the disequality index.
+// pure names the specification's pure (state-independent) functions:
+// a pure function of second-invocation arguments is still a legal probe
+// key, and a pure function of first-invocation arguments needs no log.
+func DecomposeDiseq(c Cond, pure map[string]bool) DiseqDecomp {
+	c = Simplify(c)
+	switch c.(type) {
+	case TrueCond, FalseCond:
+		return DiseqDecomp{}
+	}
+	clauses, ok := cnfClauses(c)
+	if !ok {
+		return DiseqDecomp{}
+	}
+	dec := DiseqDecomp{Indexable: true, Pure: true}
+	seen := map[[2]string]bool{}
+	for _, clause := range clauses {
+		// A clause containing a `true` literal is vacuous: it needs no
+		// guard. (Simplify folds these away at the top level, but
+		// distribution can in principle resurface them.)
+		vacuous := false
+		for _, lit := range clause {
+			if _, isTrue := lit.(TrueCond); isTrue {
+				vacuous = true
+				break
+			}
+		}
+		if vacuous {
+			continue
+		}
+		g, gok := clauseGuard(clause, pure)
+		if !gok {
+			return DiseqDecomp{}
+		}
+		if len(clause) > 1 {
+			dec.Pure = false
+		}
+		key := [2]string{termKey(g.X), termKey(g.Y)}
+		if !seen[key] {
+			seen[key] = true
+			dec.Guards = append(dec.Guards, g)
+		}
+	}
+	if len(dec.Guards) == 0 {
+		return DiseqDecomp{}
+	}
+	return dec
+}
+
+// cnfClauses converts a simplified condition to conjunctive normal
+// form, returning the clauses as slices of literals. It fails (ok =
+// false) on negations of non-literals and when distribution would
+// exceed maxCNFClauses.
+func cnfClauses(c Cond) ([][]Cond, bool) {
+	switch x := c.(type) {
+	case TrueCond, FalseCond, CmpCond:
+		return [][]Cond{{x}}, true
+	case NotCond:
+		// Simplify pushes negation through comparisons; anything left
+		// under a Not is an opaque subformula we refuse to expand.
+		return nil, false
+	case AndCond:
+		l, ok := cnfClauses(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := cnfClauses(x.R)
+		if !ok {
+			return nil, false
+		}
+		out := append(l, r...)
+		if len(out) > maxCNFClauses {
+			return nil, false
+		}
+		return out, true
+	case OrCond:
+		l, ok := cnfClauses(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := cnfClauses(x.R)
+		if !ok {
+			return nil, false
+		}
+		if len(l)*len(r) > maxCNFClauses {
+			return nil, false
+		}
+		// (A ∧ B) ∨ (C ∧ D) = (A∨C) ∧ (A∨D) ∧ (B∨C) ∧ (B∨D)
+		out := make([][]Cond, 0, len(l)*len(r))
+		for _, cl := range l {
+			for _, cr := range r {
+				clause := make([]Cond, 0, len(cl)+len(cr))
+				clause = append(clause, cl...)
+				clause = append(clause, cr...)
+				out = append(out, clause)
+			}
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// clauseGuard picks an indexable disequality literal from a CNF clause.
+// The literal must be a CmpNe whose sides split cleanly: one side (X)
+// mentions the first invocation and nothing of the second; the other
+// (Y) mentions no first-invocation values or state. X may involve
+// first-state functions — gatekeepers evaluate it when the first
+// invocation is inserted, where logs or live state are available — but
+// Y must be evaluable at probe time from the second invocation alone,
+// so it must not touch mutable state on either side (pure functions are
+// fine).
+func clauseGuard(clause []Cond, pure map[string]bool) (DiseqGuard, bool) {
+	for _, lit := range clause {
+		cmp, ok := lit.(CmpCond)
+		if !ok || cmp.Op != CmpNe {
+			continue
+		}
+		if g, ok := guardSides(cmp.L, cmp.R, pure); ok {
+			return g, true
+		}
+		if g, ok := guardSides(cmp.R, cmp.L, pure); ok {
+			return g, true
+		}
+	}
+	return DiseqGuard{}, false
+}
+
+// guardSides checks whether (x, y) is a valid (indexed side, probe
+// side) orientation of a disequality.
+func guardSides(x, y Term, pure map[string]bool) (DiseqGuard, bool) {
+	xi := termSideInfoPure(x, pure)
+	yi := termSideInfoPure(y, pure)
+	// X: must actually involve the first invocation (a constant key
+	// would index everything under one bucket — legal but useless) and
+	// must be independent of the second.
+	if !xi.val[First] && !xi.stat[First] {
+		return DiseqGuard{}, false
+	}
+	if xi.val[Second] || xi.stat[Second] {
+		return DiseqGuard{}, false
+	}
+	// Y: evaluated at probe time, before the pair checker runs, so it
+	// may not depend on the first invocation or on mutable state of
+	// either side (the probe has no per-entry logs in hand).
+	if yi.val[First] || yi.stat[First] || yi.stat[Second] {
+		return DiseqGuard{}, false
+	}
+	return DiseqGuard{X: x, Y: y}, true
+}

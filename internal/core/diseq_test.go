@@ -1,0 +1,143 @@
+package core
+
+import "testing"
+
+// Conditions mirroring the repository's example specifications.
+
+func setAddAddCond() Cond {
+	// a1 != a2 || (r1 = false && r2 = false)
+	return Or(
+		Ne(Arg1(0), Arg2(0)),
+		And(Eq(Ret1(), Lit(false)), Eq(Ret2(), Lit(false))),
+	)
+}
+
+func TestDecomposeDiseqPureConjunction(t *testing.T) {
+	// a1 != a2 && a1 != b2: the read-write set regime — both guards,
+	// pure.
+	c := And(Ne(Arg1(0), Arg2(0)), Ne(Arg1(0), Arg2(1)))
+	dec := DecomposeDiseq(c, nil)
+	if !dec.Indexable || !dec.Pure {
+		t.Fatalf("want indexable pure, got %+v", dec)
+	}
+	if len(dec.Guards) != 2 {
+		t.Fatalf("want 2 guards, got %d", len(dec.Guards))
+	}
+}
+
+func TestDecomposeDiseqDistributesOr(t *testing.T) {
+	dec := DecomposeDiseq(setAddAddCond(), nil)
+	if !dec.Indexable {
+		t.Fatalf("set add~add should be indexable: %+v", dec)
+	}
+	if dec.Pure {
+		t.Fatalf("set add~add has a residual, must not be pure")
+	}
+	// Distribution yields (Ne ∨ r1=false) ∧ (Ne ∨ r2=false): the same
+	// guard twice, deduplicated to one.
+	if len(dec.Guards) != 1 {
+		t.Fatalf("want 1 deduped guard, got %d: %+v", len(dec.Guards), dec.Guards)
+	}
+	g := dec.Guards[0]
+	if termKey(g.X) != termKey(Arg1(0)) || termKey(g.Y) != termKey(Arg2(0)) {
+		t.Fatalf("unexpected guard %v != %v", g.X, g.Y)
+	}
+}
+
+func TestDecomposeDiseqOrientsSides(t *testing.T) {
+	// Written backwards: a2 != a1 still yields X on the first side.
+	dec := DecomposeDiseq(Ne(Arg2(0), Arg1(0)), nil)
+	if !dec.Indexable || !dec.Pure || len(dec.Guards) != 1 {
+		t.Fatalf("got %+v", dec)
+	}
+	if termKey(dec.Guards[0].X) != termKey(Arg1(0)) {
+		t.Fatalf("X side not oriented to first invocation: %v", dec.Guards[0].X)
+	}
+}
+
+func TestDecomposeDiseqLoggedStateKeys(t *testing.T) {
+	// lookup@s1(k1) != r2 — X involves first-state functions (forward
+	// gatekeepers log them), Y is a plain second value.
+	c := Ne(Fn1("lookup", Arg1(0)), Ret2())
+	dec := DecomposeDiseq(c, nil)
+	if !dec.Indexable || len(dec.Guards) != 1 {
+		t.Fatalf("got %+v", dec)
+	}
+	if termKey(dec.Guards[0].Y) != termKey(Ret2()) {
+		t.Fatalf("want Ret2 probe side, got %v", dec.Guards[0].Y)
+	}
+}
+
+func TestDecomposeDiseqRejectsMixedSides(t *testing.T) {
+	// rep@s1(v2.a) != loser@s1(v1.a, v1.b): the union-find regime — the
+	// would-be probe side touches first-invocation state, so no clean
+	// split exists and the pair must fall back to scanning.
+	c := Ne(Fn1("rep", Arg2(0)), Fn1("loser", Arg1(0), Arg1(1)))
+	if dec := DecomposeDiseq(c, nil); dec.Indexable {
+		t.Fatalf("union-find style condition must not be indexable: %+v", dec)
+	}
+}
+
+func TestDecomposeDiseqRejectsClauseWithoutDiseq(t *testing.T) {
+	// r2 = false || dist(a1,a2) > dist(a1,r1): kd-tree nearest~add — no
+	// disequality literal anywhere, not indexable.
+	pure := map[string]bool{"dist": true}
+	c := Or(
+		Eq(Ret2(), Lit(false)),
+		Gt(Fn2("dist", Arg1(0), Arg2(0)), Fn1("dist", Arg1(0), Ret1())),
+	)
+	if dec := DecomposeDiseq(c, pure); dec.Indexable {
+		t.Fatalf("kd nearest~add must not be indexable: %+v", dec)
+	}
+}
+
+func TestDecomposeDiseqKdNearestRemove(t *testing.T) {
+	// (a1 != a2 && r1 != a2) || r2 = false distributes into two guarded
+	// clauses.
+	c := Or(
+		And(Ne(Arg1(0), Arg2(0)), Ne(Ret1(), Arg2(0))),
+		Eq(Ret2(), Lit(false)),
+	)
+	dec := DecomposeDiseq(c, map[string]bool{"dist": true})
+	if !dec.Indexable || dec.Pure {
+		t.Fatalf("got %+v", dec)
+	}
+	if len(dec.Guards) != 2 {
+		t.Fatalf("want guards (a1,a2) and (r1,a2), got %+v", dec.Guards)
+	}
+}
+
+func TestDecomposeDiseqRejectsPartialCoverage(t *testing.T) {
+	// One conjunct is a guardable disequality, the other clause has
+	// none. Partial guards are unsound for skipping, so the whole
+	// decomposition must fail.
+	c := And(Ne(Arg1(0), Arg2(0)), Lt(Arg1(1), Arg2(1)))
+	if dec := DecomposeDiseq(c, nil); dec.Indexable {
+		t.Fatalf("partial clause coverage must not be indexable: %+v", dec)
+	}
+}
+
+func TestDecomposeDiseqTrivial(t *testing.T) {
+	if dec := DecomposeDiseq(True(), nil); dec.Indexable {
+		t.Fatalf("true must not be indexable")
+	}
+	if dec := DecomposeDiseq(False(), nil); dec.Indexable {
+		t.Fatalf("false must not be indexable")
+	}
+}
+
+func TestDecomposeDiseqCNFBlowupBounded(t *testing.T) {
+	// A deep Or-of-Ands whose distribution exceeds maxCNFClauses must
+	// fail closed rather than hang or mis-index.
+	var parts []Cond
+	for i := 0; i < 8; i++ {
+		parts = append(parts, And(
+			Ne(Arg1(i), Arg2(i)),
+			Ne(Arg1(i+8), Arg2(i+8)),
+		))
+	}
+	c := Or(parts...)
+	if dec := DecomposeDiseq(c, nil); dec.Indexable {
+		t.Fatalf("CNF blowup must fail closed: %d guards", len(dec.Guards))
+	}
+}

@@ -134,10 +134,59 @@ func arith(op ArithOp, a, b Value) (Value, error) {
 	case OpMul:
 		return af * bf, nil
 	case OpDiv:
-		if bf == 0 {
-			return math.Inf(1), nil
-		}
+		// IEEE-754 semantics: x/0 is ±Inf by the sign of x (and of the
+		// zero), 0/0 is NaN. The seed returned +Inf unconditionally,
+		// losing the sign of negative numerators and fabricating a
+		// definite value for the indeterminate 0/0.
 		return af / bf, nil
 	}
 	return nil, fmt.Errorf("core: unknown arithmetic op %v", op)
+}
+
+// NaNKey is the canonical map key MapKey assigns to every NaN value.
+// All NaNs share it, which over-approximates collision (ValueEq treats
+// NaN as unequal to everything, including itself) — safe for an index
+// that must only ever surface too many candidates, never too few, and
+// unlike a raw NaN float key it remains deletable from a Go map.
+type NaNKey struct{}
+
+// maxExactFloatKey bounds the integral float64 range MapKey folds onto
+// int64 keys: beyond ±2^53 distinct int64 values round onto the same
+// float64, so a single canonical key can no longer represent the
+// (non-transitive!) cross-type equalities ValueEq admits there.
+const maxExactFloatKey = 1 << 53
+
+// MapKey canonicalizes a value into a Go-map key that is consistent
+// with ValueEq: if ValueEq(a, b) then MapKey(a) == MapKey(b), and if
+// MapKey(a) == MapKey(b) and the key is not NaNKey then ValueEq(a, b).
+// In particular int64(5) and float64(5.0), which ValueEq equates, share
+// the key int64(5). The second result is false for values the map
+// cannot key soundly — integral floats at or beyond ±2^53 (where float
+// rounding makes ValueEq non-transitive across int64s) and
+// non-basic-kind values (which may not even be comparable); callers
+// must treat such values as potentially colliding with everything.
+func MapKey(v Value) (Value, bool) {
+	switch x := Norm(v).(type) {
+	case nil:
+		return nil, true
+	case bool:
+		return x, true
+	case string:
+		return x, true
+	case int64:
+		return x, true
+	case float64:
+		if math.IsNaN(x) {
+			return NaNKey{}, true
+		}
+		if x == math.Trunc(x) {
+			if x > -maxExactFloatKey && x < maxExactFloatKey {
+				return int64(x), true
+			}
+			return nil, false
+		}
+		return x, true
+	default:
+		return nil, false
+	}
 }

@@ -107,6 +107,110 @@ func TestArithDivByZero(t *testing.T) {
 	if !math.IsInf(got.(float64), 1) {
 		t.Errorf("1/0 = %v, want +Inf", got)
 	}
+	got, err = arith(OpDiv, -1, 0)
+	if err != nil {
+		t.Fatalf("-1/0 errored: %v", err)
+	}
+	if !math.IsInf(got.(float64), -1) {
+		t.Errorf("-1/0 = %v, want -Inf", got)
+	}
+	got, err = arith(OpDiv, -2.5, 0.0)
+	if err != nil {
+		t.Fatalf("-2.5/0 errored: %v", err)
+	}
+	if !math.IsInf(got.(float64), -1) {
+		t.Errorf("-2.5/0 = %v, want -Inf", got)
+	}
+	got, err = arith(OpDiv, 0, 0)
+	if err != nil {
+		t.Fatalf("0/0 errored: %v", err)
+	}
+	if !math.IsNaN(got.(float64)) {
+		t.Errorf("0/0 = %v, want NaN", got)
+	}
+}
+
+func TestMapKeyCanonicalizesCrossTypeEquality(t *testing.T) {
+	ka, aok := MapKey(int64(5))
+	kb, bok := MapKey(float64(5.0))
+	if !aok || !bok || ka != kb {
+		t.Fatalf("int64(5) and float64(5.0) must share a key: %v/%v (%v/%v)", ka, kb, aok, bok)
+	}
+	if ka != int64(5) {
+		t.Fatalf("canonical key for 5 should be int64, got %T %v", ka, ka)
+	}
+	// Norm kinds collapse too.
+	ki, _ := MapKey(int8(5))
+	if ki != ka {
+		t.Fatalf("int8(5) key %v differs from int64(5) key %v", ki, ka)
+	}
+}
+
+func TestMapKeyConsistentWithValueEq(t *testing.T) {
+	vals := []Value{
+		int64(0), int64(5), int64(-3), float64(5), float64(5.5),
+		float64(-3), "a", "b", true, false, nil, float64(0),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			ka, aok := MapKey(a)
+			kb, bok := MapKey(b)
+			if !aok || !bok {
+				t.Fatalf("basic value unkeyable: %v %v", a, b)
+			}
+			if ValueEq(a, b) && ka != kb {
+				t.Errorf("ValueEq(%v, %v) but keys %v != %v", a, b, ka, kb)
+			}
+			if ka == kb && !ValueEq(a, b) {
+				t.Errorf("keys collide for unequal %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMapKeyNaN(t *testing.T) {
+	k, ok := MapKey(math.NaN())
+	if !ok {
+		t.Fatalf("NaN must be keyable")
+	}
+	if _, isNaN := k.(NaNKey); !isNaN {
+		t.Fatalf("NaN key = %T %v, want NaNKey", k, k)
+	}
+	k2, _ := MapKey(math.Float64frombits(0x7ff8000000000001)) // a different NaN payload
+	if k != k2 {
+		t.Fatalf("all NaNs must share one key")
+	}
+}
+
+func TestMapKeyRejectsHugeIntegralFloats(t *testing.T) {
+	// Beyond ±2^53 float rounding makes ValueEq non-transitive across
+	// int64s, so integral floats there must be unkeyable. int64 values
+	// of any magnitude stay keyable (int64 keys never collide).
+	if _, ok := MapKey(float64(1 << 53)); ok {
+		t.Errorf("float64(2^53) must be unkeyable")
+	}
+	if _, ok := MapKey(-float64(1 << 53)); ok {
+		t.Errorf("float64(-2^53) must be unkeyable")
+	}
+	if _, ok := MapKey(math.Inf(1)); ok {
+		t.Errorf("+Inf is integral-and-huge, must be unkeyable")
+	}
+	if k, ok := MapKey(float64(1<<53) - 1); !ok || k != int64(1<<53-1) {
+		t.Errorf("float64(2^53-1) should key as int64: %v %v", k, ok)
+	}
+	if k, ok := MapKey(int64(1) << 60); !ok || k != int64(1)<<60 {
+		t.Errorf("large int64 should stay keyable: %v %v", k, ok)
+	}
+}
+
+func TestMapKeyRejectsNonBasicKinds(t *testing.T) {
+	type pt struct{ x, y int }
+	if _, ok := MapKey(pt{1, 2}); ok {
+		t.Errorf("struct values must be unkeyable")
+	}
+	if _, ok := MapKey([]int{1}); ok {
+		t.Errorf("non-comparable values must be unkeyable")
+	}
 }
 
 func TestArithNonNumeric(t *testing.T) {

@@ -37,6 +37,17 @@ type entry struct {
 	tx  *engine.Tx
 	inv core.Invocation
 	log []core.Value
+
+	// keys holds the entry's canonical index key per key slot of its
+	// method (aligned with Forward.slots[method]); the unset sentinel
+	// marks a slot where the entry is filed as unkeyed. gen is the
+	// probe-generation stamp used to deduplicate an entry reachable
+	// through several guards of one probe. pos is the entry's position
+	// in its method's active list, maintained under swap-deletes so a
+	// transaction's release touches only its own entries.
+	keys []core.Value
+	gen  uint64
+	pos  int
 }
 
 var entryPool = sync.Pool{New: func() any { return new(entry) }}
@@ -58,6 +69,18 @@ type fwdPlan struct {
 	check   checkFn
 	trivial bool // condition is the constant true: nothing to check
 	never   bool // condition is the constant false
+
+	// Disequality index compilation (see index.go). When indexed, keys
+	// holds one compiled guard per CNF clause of the condition;
+	// incoming invocations probe the first method's key slots instead
+	// of scanning its active list. pureDiseq marks conditions that are
+	// exactly the conjunction of the guards, so a (non-NaN) collision
+	// is a conflict without running the checker. probePost marks plans
+	// whose probe needs r2 and must run after execution.
+	keys      []indexKey[*entry]
+	indexed   bool
+	pureDiseq bool
+	probePost bool
 }
 
 // pairCheck names an active-side method whose pairs with the incoming
@@ -75,6 +98,10 @@ type pending struct {
 	plan *fwdPlan
 	off  int
 	n    int
+	// immediate marks a collision on a purely-disequality condition:
+	// the condition is known false, so the check loop conflicts without
+	// evaluating the checker.
+	immediate bool
 }
 
 // Forward is a forward gatekeeper (§3.3.1): it builds up information
@@ -93,17 +120,30 @@ type Forward struct {
 	cmPost  map[string][]loggedFn // Cm: pure s1 functions, evaluated post-execution
 	logLen  map[string]int        // log slots per method
 	byFirst map[string][]pairCheck
+	slots   map[string][]*keySlot[*entry] // disequality key slots per method
 
-	mu      sync.Mutex
-	active  map[string][]*entry // active invocations, indexed by method
-	nActive int
-	hooked  map[*engine.Tx]bool
-	stats   Stats
+	mu       sync.Mutex
+	active   map[string][]*entry // active invocations, indexed by method
+	nActive  int
+	byTx     map[*engine.Tx][]*entry // each tx's own active entries, for O(own) release
+	stats    Stats
+	probeGen uint64
 
 	// per-Invoke scratch, reused under mu to keep the hot path
 	// allocation-free
-	checks  []pending
-	pre2buf []core.Value
+	checks    []pending
+	pre2buf   []core.Value
+	deferred  []pairCheck
+	probeKeys []core.Value
+}
+
+// Config tunes optional gatekeeper machinery.
+type Config struct {
+	// DisableIndex turns off the disequality-keyed active-set index,
+	// restoring the seed behaviour of scanning every active entry of
+	// each non-trivially-paired method. Benchmarks use it to quantify
+	// the index.
+	DisableIndex bool
 }
 
 // Stats counts the work a gatekeeper performed — the raw material of the
@@ -114,6 +154,17 @@ type Stats struct {
 	Conflicts   uint64 // invocations rejected
 	Rollbacks   uint64 // journal rollback sweeps (general gatekeepers)
 	LogEntries  uint64 // primitive-function results logged (forward)
+
+	// Disequality-index effectiveness. Probes counts indexed pair
+	// lookups; Collisions counts the active entries those probes
+	// surfaced for full checking (hash collisions plus unkeyable
+	// entries); FallbackScans counts full active-list scans of a
+	// non-empty method list (unindexable pair, unkeyable probe value,
+	// or index disabled). At large active windows a healthy index shows
+	// Probes ≫ Collisions and few FallbackScans.
+	Probes        uint64
+	Collisions    uint64
+	FallbackScans uint64
 }
 
 // NewForward constructs a forward gatekeeper for spec guarding a
@@ -122,6 +173,11 @@ type Stats struct {
 // this engine cannot schedule (a non-pure state function needing a return
 // value before it is known).
 func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
+	return NewForwardConfig(spec, res, Config{})
+}
+
+// NewForwardConfig is NewForward with explicit configuration.
+func NewForwardConfig(spec *core.Spec, res core.StateFn, cfg Config) (*Forward, error) {
 	g := &Forward{
 		spec:    spec,
 		res:     res,
@@ -130,8 +186,9 @@ func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 		cmPost:  map[string][]loggedFn{},
 		logLen:  map[string]int{},
 		byFirst: map[string][]pairCheck{},
+		slots:   map[string][]*keySlot[*entry]{},
 		active:  map[string][]*entry{},
-		hooked:  map[*engine.Tx]bool{},
+		byTx:    map[*engine.Tx][]*entry{},
 	}
 	logSlots := map[string]map[string]int{} // m1 -> term key -> log slot
 	names := spec.Sig.MethodNames()
@@ -219,12 +276,43 @@ func NewForward(spec *core.Spec, res core.StateFn) (*Forward, error) {
 				bind[core.TermKey(ft)] = slotBinding{src: srcPre2, slot: i}
 			}
 			plan.check = compileCond(cond2(plan), bind, res)
+			if !cfg.DisableIndex && !plan.trivial && !plan.never {
+				keys, pureDiseq, probePost, ok := compileIndex[*entry](
+					plan.cond, spec.Pure, bind, res, true, g.slotFor(m1))
+				// A probe that needs r2 can only run after execution,
+				// but fn2Pre values must be captured per colliding
+				// entry before it — irreconcilable, so such pairs keep
+				// the scan.
+				if ok && !(probePost && len(plan.fn2Pre) > 0) {
+					plan.keys = keys
+					plan.indexed = true
+					plan.pureDiseq = pureDiseq
+					plan.probePost = probePost
+				}
+			}
 			if !plan.trivial {
 				g.byFirst[m2] = append(g.byFirst[m2], pairCheck{m1: m1, plan: plan})
 			}
 		}
 	}
 	return g, nil
+}
+
+// slotFor interns a guard x term into method m1's key-slot list,
+// deduplicating across pairs so that every pair guarding on the same
+// first-side value shares one bucket map.
+func (g *Forward) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[*entry] {
+	return func(x core.Term, extract termFn) *keySlot[*entry] {
+		xk := core.TermKey(x)
+		for _, s := range g.slots[m1] {
+			if core.TermKey(s.term) == xk {
+				return s
+			}
+		}
+		s := &keySlot[*entry]{term: x, extract: extract, index: map[core.Value][]*entry{}}
+		g.slots[m1] = append(g.slots[m1], s)
+		return s
+	}
 }
 
 func cond2(p *fwdPlan) core.Cond { return p.cond }
@@ -262,30 +350,29 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		g.stats.LogEntries++
 	}
 
-	// Pre-pass B: per active invocation of a non-trivially-paired
-	// method, the non-pure s2 functions of the condition we are about to
-	// check, in the state m2 executes in.
+	// Pre-pass B: gather the commutativity checks this invocation owes.
+	// Indexed pairs probe the first method's key slots and queue only
+	// colliding entries; the rest scan its active list as the seed did.
+	// Pairs whose probe needs r2 are deferred until after execution.
+	// Queuing also captures each pair's non-pure s2 functions, in the
+	// state m2 executes in.
 	g.checks = g.checks[:0]
 	g.pre2buf = g.pre2buf[:0]
+	g.deferred = g.deferred[:0]
 	env := core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}
 	for _, pc := range g.byFirst[method] {
-		for _, ae := range g.active[pc.m1] {
-			if ae.tx == tx {
-				continue
-			}
-			p := pending{e: ae, plan: pc.plan, off: len(g.pre2buf), n: len(pc.plan.fn2Pre)}
-			if p.n > 0 {
-				env.Inv1 = ae.inv
-				for _, ft := range pc.plan.fn2Pre {
-					v, err := core.EvalTerm(ft, &env)
-					if err != nil {
-						g.putEntry(e)
-						return nil, fmt.Errorf("gatekeeper: evaluating %s for (%s,%s): %w", ft, ae.inv.Method, method, err)
-					}
-					g.pre2buf = append(g.pre2buf, v)
-				}
-			}
-			g.checks = append(g.checks, p)
+		var err error
+		switch {
+		case pc.plan.indexed && pc.plan.probePost:
+			g.deferred = append(g.deferred, pc)
+		case pc.plan.indexed:
+			err = g.probePair(tx, e, pc, &env)
+		default:
+			err = g.scanPair(tx, e, pc, &env)
+		}
+		if err != nil {
+			g.putEntry(e)
+			return nil, err
 		}
 	}
 
@@ -311,11 +398,33 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		g.stats.LogEntries++
 	}
 
+	// Deferred probes: their key needs r2, which exists only now. Such
+	// plans carry no fn2Pre (enforced at compile time), so queuing after
+	// execution is sound.
+	for _, pc := range g.deferred {
+		if err := g.probePair(tx, e, pc, &env); err != nil {
+			undoNow()
+			g.putEntry(e)
+			return eff.Ret, err
+		}
+	}
+
 	// Check commutativity against every queued active invocation with
 	// the pair's compiled checker.
 	ctx := checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
 	for i := range g.checks {
 		p := &g.checks[i]
+		if p.immediate {
+			// Collision on a purely-disequality condition: some guard
+			// x = y holds, so the condition is false by construction.
+			undoNow()
+			g.stats.Conflicts++
+			inv1 := p.e.inv
+			tx1 := p.e.tx.ID()
+			g.putEntry(e)
+			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
+				method, args, inv1.Method, inv1.Args, tx1)
+		}
 		g.stats.Checks++
 		if p.plan.never {
 			undoNow()
@@ -345,13 +454,16 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 	}
 
-	// Success: record as active, wire transaction hooks.
+	// Success: record as active (and in the key index), wire
+	// transaction hooks.
+	g.indexEntry(method, e)
+	e.pos = len(g.active[method])
 	g.active[method] = append(g.active[method], e)
 	g.nActive++
-	if !g.hooked[tx] {
-		g.hooked[tx] = true
+	if g.byTx[tx] == nil {
 		tx.OnRelease(func() { g.release(tx) })
 	}
+	g.byTx[tx] = append(g.byTx[tx], e)
 	if eff.Undo != nil {
 		undo := eff.Undo
 		tx.OnUndo(func() {
@@ -363,6 +475,139 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	return eff.Ret, nil
 }
 
+// queueCheck queues one full commutativity check of the incoming
+// invocation (method, described by env.Inv2) against active entry ae,
+// capturing the plan's non-pure s2 functions first.
+func (g *Forward) queueCheck(ae *entry, plan *fwdPlan, method string, env *core.PairEnv, immediate bool) error {
+	p := pending{e: ae, plan: plan, off: len(g.pre2buf), n: len(plan.fn2Pre), immediate: immediate}
+	if p.n > 0 {
+		env.Inv1 = ae.inv
+		for _, ft := range plan.fn2Pre {
+			v, err := core.EvalTerm(ft, env)
+			if err != nil {
+				return fmt.Errorf("gatekeeper: evaluating %s for (%s,%s): %w", ft, ae.inv.Method, method, err)
+			}
+			g.pre2buf = append(g.pre2buf, v)
+		}
+	}
+	g.checks = append(g.checks, p)
+	return nil
+}
+
+// scanPair queues checks against every active entry of pc.m1 — the seed
+// behaviour, kept as the fallback for unindexable pairs and unkeyable
+// probe values.
+func (g *Forward) scanPair(tx *engine.Tx, e *entry, pc pairCheck, env *core.PairEnv) error {
+	entries := g.active[pc.m1]
+	if len(entries) == 0 {
+		return nil
+	}
+	g.stats.FallbackScans++
+	for _, ae := range entries {
+		if ae.tx == tx {
+			continue
+		}
+		if err := g.queueCheck(ae, pc.plan, e.inv.Method, env, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probePair evaluates the incoming invocation's probe keys for an
+// indexed pair and queues checks only against colliding active entries
+// of pc.m1. A probe value the index cannot canonicalize (or evaluate)
+// falls back to the full scan. For purely-disequality conditions a
+// collision on a non-NaN key queues an immediate conflict: equal keys
+// mean equal values (core.MapKey's contract), which falsifies a guard
+// and with it the whole condition. NaN keys collide conservatively —
+// NaN ≠ NaN holds under ValueEq — so they still run the checker.
+func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.PairEnv) error {
+	g.stats.Probes++
+	pctx := checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
+	keys := g.probeKeys[:0]
+	for _, pk := range pc.plan.keys {
+		v, err := pk.probe(&pctx)
+		if err != nil {
+			g.probeKeys = keys
+			return g.scanPair(tx, e, pc, env)
+		}
+		k, kok := core.MapKey(v)
+		if !kok {
+			g.probeKeys = keys
+			return g.scanPair(tx, e, pc, env)
+		}
+		keys = append(keys, k)
+	}
+	g.probeKeys = keys
+	g.probeGen++
+	gen := g.probeGen
+	for i, pk := range pc.plan.keys {
+		k := keys[i]
+		_, isNaN := k.(core.NaNKey)
+		imm := pc.plan.pureDiseq && !isNaN
+		for _, ae := range pk.slot.index[k] {
+			if ae.tx == tx || ae.gen == gen {
+				continue
+			}
+			ae.gen = gen
+			g.stats.Collisions++
+			if err := g.queueCheck(ae, pc.plan, e.inv.Method, env, imm); err != nil {
+				return err
+			}
+		}
+		for _, ae := range pk.slot.unkeyed {
+			if ae.tx == tx || ae.gen == gen {
+				continue
+			}
+			ae.gen = gen
+			g.stats.Collisions++
+			if err := g.queueCheck(ae, pc.plan, e.inv.Method, env, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// indexEntry computes the entry's key per key slot of its method and
+// files it in the corresponding buckets (or as unkeyed where the value
+// resists canonicalization).
+func (g *Forward) indexEntry(method string, e *entry) {
+	slots := g.slots[method]
+	if len(slots) == 0 {
+		return
+	}
+	ctx := checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}, log1: e.log}
+	if cap(e.keys) >= len(slots) {
+		e.keys = e.keys[:len(slots)]
+	} else {
+		e.keys = make([]core.Value, len(slots))
+	}
+	for i, s := range slots {
+		v, err := s.extract(&ctx)
+		if err == nil {
+			if k, kok := core.MapKey(v); kok {
+				e.keys[i] = k
+				s.insert(k, e)
+				continue
+			}
+		}
+		e.keys[i] = unset
+		s.insertUnkeyed(e)
+	}
+}
+
+// dropFromIndex removes the entry from every key slot it was filed in.
+func (g *Forward) dropFromIndex(method string, e *entry) {
+	for i, s := range g.slots[method] {
+		if i >= len(e.keys) {
+			break
+		}
+		s.remove(e.keys[i], e)
+	}
+}
+
 // putEntry recycles an entry whose invocation did not join the active
 // log (or just left it).
 func (g *Forward) putEntry(e *entry) {
@@ -371,30 +616,42 @@ func (g *Forward) putEntry(e *entry) {
 	for i := range e.log {
 		e.log[i] = nil
 	}
+	for i := range e.keys {
+		e.keys[i] = nil
+	}
+	e.keys = e.keys[:0]
+	e.gen = 0
+	e.pos = 0
 	entryPool.Put(e)
 }
 
+// removeActive swap-deletes the entry from its method's active list,
+// keeping the moved entry's pos current.
+func (g *Forward) removeActive(m string, e *entry) {
+	es := g.active[m]
+	last := len(es) - 1
+	moved := es[last]
+	es[e.pos] = moved
+	moved.pos = e.pos
+	es[last] = nil
+	g.active[m] = es[:last]
+}
+
 // release drops all of tx's active invocations and their logs (§3.3.1
-// step 4). Installed automatically as a transaction release hook.
+// step 4). Installed automatically as a transaction release hook. It
+// walks only the transaction's own entries, so ending a transaction
+// costs O(its invocations) regardless of the active window size.
 func (g *Forward) release(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for m, es := range g.active {
-		kept := es[:0]
-		for _, e := range es {
-			if e.tx != tx {
-				kept = append(kept, e)
-			} else {
-				g.nActive--
-				g.putEntry(e)
-			}
-		}
-		for i := len(kept); i < len(es); i++ {
-			es[i] = nil
-		}
-		g.active[m] = kept
+	for _, e := range g.byTx[tx] {
+		m := e.inv.Method
+		g.removeActive(m, e)
+		g.dropFromIndex(m, e)
+		g.nActive--
+		g.putEntry(e)
 	}
-	delete(g.hooked, tx)
+	delete(g.byTx, tx)
 }
 
 // ActiveInvocations reports how many invocations are currently logged

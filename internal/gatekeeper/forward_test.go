@@ -43,13 +43,18 @@ type gset struct {
 
 func newGSet(t *testing.T, init ...int64) *gset {
 	t.Helper()
+	return newGSetCfg(t, preciseSetSpec(), Config{}, init...)
+}
+
+func newGSetCfg(t *testing.T, spec *core.Spec, cfg Config, init ...int64) *gset {
+	t.Helper()
 	s := &gset{elems: map[int64]bool{}}
 	for _, v := range init {
 		s.elems[v] = true
 	}
-	g, err := NewForward(preciseSetSpec(), func(fn string, args []core.Value) (core.Value, error) {
+	g, err := NewForwardConfig(spec, func(fn string, args []core.Value) (core.Value, error) {
 		return nil, fmt.Errorf("set has no state functions, asked for %s", fn)
-	})
+	}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +63,14 @@ func newGSet(t *testing.T, init ...int64) *gset {
 }
 
 func (s *gset) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
-	ret, err := s.g.Invoke(tx, method, []core.Value{x}, func() Effect {
+	return s.invokeV(tx, method, x, x)
+}
+
+// invokeV invokes method with an arbitrary argument value standing for
+// the logical key x — e.g. float64(5.0) for 5 — to exercise the index's
+// cross-type key canonicalization.
+func (s *gset) invokeV(tx *engine.Tx, method string, x int64, arg core.Value) (bool, error) {
+	ret, err := s.g.Invoke(tx, method, []core.Value{arg}, func() Effect {
 		switch method {
 		case "add":
 			if s.elems[x] {

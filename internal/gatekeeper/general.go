@@ -36,14 +36,35 @@ type genPlan struct {
 	check   checkFn
 	trivial bool
 	never   bool
+
+	// Disequality index compilation (see index.go). General gatekeepers
+	// keep no logs, so guards whose x term applies a non-pure state
+	// function are rejected at compile time (union-find's union pairs
+	// stay on the scan); probes always run after execution, so r2 in a
+	// probe key needs no special scheduling.
+	keys      []indexKey[*gentry]
+	indexed   bool
+	pureDiseq bool
 }
 
-// jentry is one journaled mutation by an active transaction.
+// gPairCheck names an active-side method whose pairs with the incoming
+// method need checking, with the plan to run.
+type gPairCheck struct {
+	m1   string
+	plan *genPlan
+}
+
+// jentry is one journaled mutation by an active transaction, a node of
+// the seq-ordered doubly-linked journal. The list shape lets a
+// transaction's entries be unlinked in O(1) each at commit or abort,
+// while rollback sweeps still walk the journal from its newest end.
 type jentry struct {
 	seq  uint64
 	tx   *engine.Tx
 	undo func()
 	redo func()
+
+	prev, next *jentry
 }
 
 // gentry is an active invocation with the journal position that marks the
@@ -52,6 +73,14 @@ type gentry struct {
 	tx     *engine.Tx
 	inv    core.Invocation
 	seqPre uint64 // state s1 = current state with journal entries seq > seqPre undone
+
+	// keys and gen mirror entry.keys/entry.gen: per-slot index keys
+	// (aligned with General.slots[method]) and the probe-generation
+	// deduplication stamp. pos is the entry's position in its method's
+	// active list, maintained under swap-deletes.
+	keys []core.Value
+	gen  uint64
+	pos  int
 }
 
 // gpending is one queued check of an Invoke: the active entry, the plan,
@@ -62,6 +91,9 @@ type gpending struct {
 	plan     *genPlan
 	off1, n1 int
 	off2, n2 int
+	// immediate marks a collision on a purely-disequality condition:
+	// conflict without evaluating the checker.
+	immediate bool
 }
 
 // General is a general gatekeeper (§3.3.2): a forward-style active log
@@ -82,29 +114,48 @@ type General struct {
 	spec *core.Spec
 	res  core.StateFn
 
-	pairs map[[2]string]*genPlan
+	pairs   map[[2]string]*genPlan
+	byFirst map[string][]gPairCheck
+	slots   map[string][]*keySlot[*gentry] // disequality key slots per method
 
-	mu      sync.Mutex
-	seq     uint64
-	journal []*jentry
-	entries []*gentry
-	hooked  map[*engine.Tx]bool
-	stats   Stats
+	mu       sync.Mutex
+	seq      uint64
+	jHead    *jentry // oldest journaled mutation
+	jTail    *jentry // newest journaled mutation
+	jLen     int
+	active   map[string][]*gentry // active invocations, indexed by method
+	nActive  int
+	byTxE    map[*engine.Tx][]*gentry // each tx's own active entries
+	byTxJ    map[*engine.Tx][]*jentry // each tx's own journal entries, oldest first
+	hooked   map[*engine.Tx]bool
+	stats    Stats
+	probeGen uint64
 
 	// per-Invoke scratch, reused under mu
-	checks []gpending
-	valbuf []core.Value
+	checks    []gpending
+	valbuf    []core.Value
+	probeKeys []core.Value
 }
 
 // NewGeneral constructs a general gatekeeper for spec over a structure
 // whose state functions are resolved (against its current state) by res.
 // Any L1 specification is accepted.
 func NewGeneral(spec *core.Spec, res core.StateFn) (*General, error) {
+	return NewGeneralConfig(spec, res, Config{})
+}
+
+// NewGeneralConfig is NewGeneral with explicit configuration.
+func NewGeneralConfig(spec *core.Spec, res core.StateFn, cfg Config) (*General, error) {
 	g := &General{
-		spec:   spec,
-		res:    res,
-		pairs:  map[[2]string]*genPlan{},
-		hooked: map[*engine.Tx]bool{},
+		spec:    spec,
+		res:     res,
+		pairs:   map[[2]string]*genPlan{},
+		byFirst: map[string][]gPairCheck{},
+		slots:   map[string][]*keySlot[*gentry]{},
+		active:  map[string][]*gentry{},
+		byTxE:   map[*engine.Tx][]*gentry{},
+		byTxJ:   map[*engine.Tx][]*jentry{},
+		hooked:  map[*engine.Tx]bool{},
 	}
 	names := spec.Sig.MethodNames()
 	for _, m1 := range names {
@@ -143,10 +194,38 @@ func NewGeneral(spec *core.Spec, res core.StateFn) (*General, error) {
 				bind[core.TermKey(ft)] = slotBinding{src: srcPre2, slot: i}
 			}
 			plan.check = compileCond(cond, bind, res)
+			if !cfg.DisableIndex && !plan.trivial && !plan.never {
+				keys, pureDiseq, _, ok := compileIndex[*gentry](
+					plan.cond, spec.Pure, nil, res, false, g.slotFor(m1))
+				if ok {
+					plan.keys = keys
+					plan.indexed = true
+					plan.pureDiseq = pureDiseq
+				}
+			}
+			if !plan.trivial {
+				g.byFirst[m2] = append(g.byFirst[m2], gPairCheck{m1: m1, plan: plan})
+			}
 			g.pairs[[2]string{m1, m2}] = plan
 		}
 	}
 	return g, nil
+}
+
+// slotFor interns a guard x term into method m1's key-slot list,
+// deduplicating across pairs.
+func (g *General) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[*gentry] {
+	return func(x core.Term, extract termFn) *keySlot[*gentry] {
+		xk := core.TermKey(x)
+		for _, s := range g.slots[m1] {
+			if core.TermKey(s.term) == xk {
+				return s
+			}
+		}
+		s := &keySlot[*gentry]{term: x, extract: extract, index: map[core.Value][]*gentry{}}
+		g.slots[m1] = append(g.slots[m1], s)
+		return s
+	}
 }
 
 // Invoke executes one guarded invocation for tx, checking it against all
@@ -170,27 +249,24 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 		g.seq++
 		own = &jentry{seq: g.seq, tx: tx, undo: eff.Undo, redo: eff.Redo}
-		g.journal = append(g.journal, own)
+		g.linkJournal(own)
+		g.byTxJ[tx] = append(g.byTxJ[tx], own)
 	}
 
-	// Gather the checks and the rollback points they need. Evaluation at
-	// "state seqPre" means: every journal entry with seq > seqPre undone.
-	// Slot values start as unset; slots the rollback sweep leaves unset
-	// are evaluated live (against the restored current state) by the
-	// compiled checker.
+	// Gather the checks and the rollback points they need. Indexed
+	// pairs probe the first method's key slots (execution already
+	// happened, so r2-bearing probe keys are fine here) and queue only
+	// colliding entries; the rest scan its active list as the seed did.
+	// Evaluation at "state seqPre" means: every journal entry with seq
+	// > seqPre undone. Slot values start as unset; slots the rollback
+	// sweep leaves unset are evaluated live (against the restored
+	// current state) by the compiled checker.
 	g.checks = g.checks[:0]
 	g.valbuf = g.valbuf[:0]
 	var needState map[uint64][]int // rollback point -> indices into checks needing fn1 there
 	needS2 := false
-	for _, e := range g.entries {
-		if e.tx == tx {
-			continue
-		}
-		plan := g.pairs[[2]string{e.inv.Method, method}]
-		if plan.trivial {
-			continue
-		}
-		p := gpending{e: e, plan: plan}
+	queue := func(e *gentry, plan *genPlan, immediate bool) {
+		p := gpending{e: e, plan: plan, immediate: immediate}
 		p.n1, p.n2 = len(plan.fn1), len(plan.fn2)
 		p.off1 = len(g.valbuf)
 		p.off2 = p.off1 + p.n1
@@ -209,6 +285,70 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 			needS2 = true
 		}
 	}
+	scanPair := func(pc gPairCheck) {
+		es := g.active[pc.m1]
+		if len(es) == 0 {
+			return
+		}
+		g.stats.FallbackScans++
+		for _, ae := range es {
+			if ae.tx == tx {
+				continue
+			}
+			queue(ae, pc.plan, false)
+		}
+	}
+	probePair := func(pc gPairCheck) {
+		g.stats.Probes++
+		pctx := checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
+		keys := g.probeKeys[:0]
+		for _, pk := range pc.plan.keys {
+			v, err := pk.probe(&pctx)
+			if err != nil {
+				g.probeKeys = keys
+				scanPair(pc)
+				return
+			}
+			k, kok := core.MapKey(v)
+			if !kok {
+				g.probeKeys = keys
+				scanPair(pc)
+				return
+			}
+			keys = append(keys, k)
+		}
+		g.probeKeys = keys
+		g.probeGen++
+		gen := g.probeGen
+		for i, pk := range pc.plan.keys {
+			k := keys[i]
+			_, isNaN := k.(core.NaNKey)
+			imm := pc.plan.pureDiseq && !isNaN
+			for _, ae := range pk.slot.index[k] {
+				if ae.tx == tx || ae.gen == gen {
+					continue
+				}
+				ae.gen = gen
+				g.stats.Collisions++
+				queue(ae, pc.plan, imm)
+			}
+			for _, ae := range pk.slot.unkeyed {
+				if ae.tx == tx || ae.gen == gen {
+					continue
+				}
+				ae.gen = gen
+				g.stats.Collisions++
+				queue(ae, pc.plan, false)
+			}
+		}
+	}
+	for _, pc := range g.byFirst[method] {
+		if pc.plan.indexed {
+			probePair(pc)
+		} else {
+			scanPair(pc)
+		}
+	}
 
 	if len(needState) > 0 || needS2 {
 		g.stats.Rollbacks++
@@ -218,13 +358,22 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	undoOwn := func() {
 		if own != nil {
 			own.undo()
-			g.journal = g.journal[:len(g.journal)-1]
+			g.unlinkJournal(own)
+			lst := g.byTxJ[tx]
+			lst[len(lst)-1] = nil
+			g.byTxJ[tx] = lst[:len(lst)-1]
 		}
 	}
 
 	ctx := checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
 	for i := range g.checks {
 		p := &g.checks[i]
+		if p.immediate {
+			undoOwn()
+			g.stats.Conflicts++
+			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
+				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
+		}
 		g.stats.Checks++
 		if p.plan.never {
 			undoOwn()
@@ -248,13 +397,47 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 	}
 
-	g.entries = append(g.entries, &gentry{tx: tx, inv: inv, seqPre: seqPre})
+	e := &gentry{tx: tx, inv: inv, seqPre: seqPre}
+	g.indexEntry(method, e)
+	e.pos = len(g.active[method])
+	g.active[method] = append(g.active[method], e)
+	g.byTxE[tx] = append(g.byTxE[tx], e)
+	g.nActive++
 	if !g.hooked[tx] {
 		g.hooked[tx] = true
 		tx.OnUndo(func() { g.abortTx(tx) })
 		tx.OnRelease(func() { g.endTx(tx) })
 	}
 	return eff.Ret, nil
+}
+
+// linkJournal appends j at the journal's newest end.
+func (g *General) linkJournal(j *jentry) {
+	j.prev = g.jTail
+	if g.jTail != nil {
+		g.jTail.next = j
+	} else {
+		g.jHead = j
+	}
+	g.jTail = j
+	g.jLen++
+}
+
+// unlinkJournal removes j from the journal, preserving seq order of the
+// remaining entries.
+func (g *General) unlinkJournal(j *jentry) {
+	if j.prev != nil {
+		j.prev.next = j.next
+	} else {
+		g.jHead = j.next
+	}
+	if j.next != nil {
+		j.next.prev = j.prev
+	} else {
+		g.jTail = j.prev
+	}
+	j.prev, j.next = nil, nil
+	g.jLen--
 }
 
 // rollbackEval performs one backward sweep over the journal, pausing at
@@ -271,11 +454,18 @@ func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, needState map
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i] > points[j] })
 
-	undone := 0 // journal suffix length currently undone
+	var firstUndone *jentry // oldest journal entry currently undone
 	evalAt := func(point uint64) {
-		for undone < len(g.journal) && g.journal[len(g.journal)-1-undone].seq > point {
-			g.journal[len(g.journal)-1-undone].undo()
-			undone++
+		for {
+			n := g.jTail
+			if firstUndone != nil {
+				n = firstUndone.prev
+			}
+			if n == nil || n.seq <= point {
+				return
+			}
+			n.undo()
+			firstUndone = n
 		}
 	}
 	seen := map[uint64]bool{}
@@ -308,9 +498,8 @@ func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, needState map
 		}
 	}
 	// Replay forward in order.
-	for undone > 0 {
-		g.journal[len(g.journal)-undone].redo()
-		undone--
+	for n := firstUndone; n != nil; n = n.next {
+		n.redo()
 	}
 }
 
@@ -319,42 +508,86 @@ func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, needState map
 func (g *General) abortTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for i := len(g.journal) - 1; i >= 0; i-- {
-		if g.journal[i].tx == tx {
-			g.journal[i].undo()
-			g.journal = append(g.journal[:i], g.journal[i+1:]...)
-		}
+	lst := g.byTxJ[tx]
+	for i := len(lst) - 1; i >= 0; i-- {
+		lst[i].undo()
+		g.unlinkJournal(lst[i])
 	}
+	delete(g.byTxJ, tx)
+}
+
+// removeActive swap-deletes the entry from its method's active list,
+// keeping the moved entry's pos current.
+func (g *General) removeActive(m string, e *gentry) {
+	es := g.active[m]
+	last := len(es) - 1
+	moved := es[last]
+	es[e.pos] = moved
+	moved.pos = e.pos
+	es[last] = nil
+	g.active[m] = es[:last]
 }
 
 // endTx drops the transaction's journal entries (now permanent) and
 // active invocations. Installed as a tx release hook; on abort the
-// journal was already emptied by abortTx.
+// journal was already emptied by abortTx. Like Forward.release, it
+// walks only the transaction's own entries.
 func (g *General) endTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	kept := g.journal[:0]
-	for _, j := range g.journal {
-		if j.tx != tx {
-			kept = append(kept, j)
-		}
+	for _, j := range g.byTxJ[tx] {
+		g.unlinkJournal(j)
 	}
-	g.journal = kept
-	keptE := g.entries[:0]
-	for _, e := range g.entries {
-		if e.tx != tx {
-			keptE = append(keptE, e)
-		}
+	delete(g.byTxJ, tx)
+	for _, e := range g.byTxE[tx] {
+		m := e.inv.Method
+		g.removeActive(m, e)
+		g.dropFromIndex(m, e)
+		g.nActive--
 	}
-	g.entries = keptE
+	delete(g.byTxE, tx)
 	delete(g.hooked, tx)
+}
+
+// indexEntry computes the entry's key per key slot of its method and
+// files it in the corresponding buckets (or as unkeyed where the value
+// resists canonicalization).
+func (g *General) indexEntry(method string, e *gentry) {
+	slots := g.slots[method]
+	if len(slots) == 0 {
+		return
+	}
+	ctx := checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}}
+	e.keys = make([]core.Value, len(slots))
+	for i, s := range slots {
+		v, err := s.extract(&ctx)
+		if err == nil {
+			if k, kok := core.MapKey(v); kok {
+				e.keys[i] = k
+				s.insert(k, e)
+				continue
+			}
+		}
+		e.keys[i] = unset
+		s.insertUnkeyed(e)
+	}
+}
+
+// dropFromIndex removes the entry from every key slot it was filed in.
+func (g *General) dropFromIndex(method string, e *gentry) {
+	for i, s := range g.slots[method] {
+		if i >= len(e.keys) {
+			break
+		}
+		s.remove(e.keys[i], e)
+	}
 }
 
 // ActiveInvocations reports the number of logged active invocations.
 func (g *General) ActiveInvocations() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.entries)
+	return g.nActive
 }
 
 // Stats returns a snapshot of the gatekeeper's work counters.
@@ -368,7 +601,7 @@ func (g *General) Stats() Stats {
 func (g *General) JournalLen() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.journal)
+	return g.jLen
 }
 
 // Sync runs f under the gatekeeper's structure mutex.

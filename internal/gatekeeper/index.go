@@ -1,0 +1,113 @@
+package gatekeeper
+
+import (
+	"commlat/internal/core"
+)
+
+// This file implements the disequality-keyed active-set index shared by
+// both gatekeepers. core.DecomposeDiseq proves, per ordered method
+// pair, that the pair condition is implied whenever a set of
+// disequality guards x ≠ y all hold; the gatekeeper then buckets active
+// invocations by the canonical hash key (core.MapKey) of each guard's
+// x-value, and an incoming invocation probes with its y-values. Only
+// colliding entries — those that might falsify a guard — reach the full
+// compiled checker, so on workloads over distinct keys the per-check
+// cost is O(1) expected in the active-window size instead of linear.
+// This realizes, for gatekeepers, the same hashing idea the paper's
+// abstract locks use for SIMPLE conditions (§3.2).
+
+// keySlot is one distinct guard key term of a method: the bucket map
+// from canonical key values to the active entries whose x-value hashed
+// there, plus the entries whose x-value the index could not key
+// (core.MapKey rejected it) and which therefore collide with every
+// probe. E is the gatekeeper's entry type.
+type keySlot[E comparable] struct {
+	term    core.Term // the guard's x term, for dedup and diagnostics
+	extract termFn    // compiled x evaluator, run at insert time
+	index   map[core.Value][]E
+	unkeyed []E
+}
+
+// insert buckets e under key k; insertUnkeyed records an entry whose
+// key could not be canonicalized.
+func (s *keySlot[E]) insert(k core.Value, e E) { s.index[k] = append(s.index[k], e) }
+
+func (s *keySlot[E]) insertUnkeyed(e E) { s.unkeyed = append(s.unkeyed, e) }
+
+// remove drops e from the slot. k must be the key insert was called
+// with (entries remember their keys); the unset sentinel means e was
+// recorded unkeyed.
+func (s *keySlot[E]) remove(k core.Value, e E) {
+	if k == unset {
+		removeElem(&s.unkeyed, e)
+		return
+	}
+	b := s.index[k]
+	removeElem(&b, e)
+	if len(b) == 0 {
+		delete(s.index, k)
+	} else {
+		s.index[k] = b
+	}
+}
+
+func removeElem[E comparable](xs *[]E, e E) {
+	s := *xs
+	for i, x := range s {
+		if x == e {
+			var zero E
+			s[i] = s[len(s)-1]
+			s[len(s)-1] = zero
+			*xs = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// indexKey is one compiled guard of a pair plan: the first method's key
+// slot to probe and the compiled evaluator of the guard's y term, run
+// against the incoming (second) invocation.
+type indexKey[E comparable] struct {
+	slot  *keySlot[E]
+	probe termFn
+}
+
+// compileIndex decomposes a pair condition into disequality guards and
+// compiles them. bind resolves recorded first-side values exactly as
+// for the pair checker (log slots for forward gatekeepers, nothing for
+// general ones). When allowStatefulX is false, guards whose x term
+// applies a non-pure state function are rejected — a gatekeeper without
+// logs cannot reproduce the insert-time state later, and here cannot
+// even capture it meaningfully at insert time relative to rollback
+// evaluation. slotFor interns x terms into per-method key slots.
+//
+// Results: the compiled guards, whether the condition is purely their
+// conjunction (collision ⟹ conflict), whether any probe needs the
+// incoming invocation's return value (probe must wait until after
+// execution), and whether the pair is indexable at all.
+func compileIndex[E comparable](
+	cond core.Cond,
+	pure map[string]bool,
+	bind map[string]slotBinding,
+	res core.StateFn,
+	allowStatefulX bool,
+	slotFor func(x core.Term, extract termFn) *keySlot[E],
+) (keys []indexKey[E], pureDiseq, probePost, ok bool) {
+	dec := core.DecomposeDiseq(cond, pure)
+	if !dec.Indexable {
+		return nil, false, false, false
+	}
+	for _, gd := range dec.Guards {
+		if !allowStatefulX && (containsNonPureFn(gd.X, core.First, pure) || containsNonPureFn(gd.X, core.Second, pure)) {
+			return nil, false, false, false
+		}
+		if mentionsRet(gd.Y, core.Second) {
+			probePost = true
+		}
+		keys = append(keys, indexKey[E]{
+			slot:  slotFor(gd.X, compileTerm(gd.X, bind, res)),
+			probe: compileTerm(gd.Y, bind, res),
+		})
+	}
+	return keys, dec.Pure, probePost, true
+}

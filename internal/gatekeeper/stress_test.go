@@ -29,8 +29,10 @@ type oracleGK struct {
 }
 
 // step computes the oracle's return value and conflict decision for one
-// invocation by transaction tx, applying the effect when allowed.
-func (o *oracleGK) step(t *testing.T, tx int, method string, x int64) (core.Value, bool) {
+// invocation by transaction tx, applying the effect when allowed. arg is
+// the value actually passed to the method — possibly a float64 spelling
+// of the logical key x, to exercise cross-type value equality.
+func (o *oracleGK) step(t *testing.T, tx int, method string, x int64, arg core.Value) (core.Value, bool) {
 	t.Helper()
 	var ret core.Value
 	switch method {
@@ -41,7 +43,7 @@ func (o *oracleGK) step(t *testing.T, tx int, method string, x int64) (core.Valu
 	case "contains":
 		ret = o.elems[x]
 	}
-	inv := core.NewInvocation(method, []core.Value{x}, ret)
+	inv := core.NewInvocation(method, []core.Value{arg}, ret)
 	for _, a := range o.active {
 		if a.tx == tx {
 			continue
@@ -103,11 +105,18 @@ func TestForwardIndexedMatchesInterpretedOracle(t *testing.T) {
 			}
 			method := methods[r.Intn(len(methods))]
 			x := int64(r.Intn(8)) // tiny key space: heavy overlap
-			wantRet, wantOK := o.step(t, i, method, x)
-			ret, err := s.invoke(txs[i], method, x)
+			// Sometimes spell the key as a float64: ValueEq-equal to the
+			// int64 spelling but not ==-equal, so the index must
+			// canonicalize both to one map key to keep decisions exact.
+			var arg core.Value = x
+			if r.Intn(3) == 0 {
+				arg = float64(x)
+			}
+			wantRet, wantOK := o.step(t, i, method, x, arg)
+			ret, err := s.invokeV(txs[i], method, x, arg)
 			if gotOK := err == nil; gotOK != wantOK {
-				t.Fatalf("seed %d step %d: %s(%d) by tx%d: gatekeeper ok=%v oracle ok=%v (err=%v)",
-					seed, step, method, x, i, gotOK, wantOK, err)
+				t.Fatalf("seed %d step %d: %s(%v) by tx%d: gatekeeper ok=%v oracle ok=%v (err=%v)",
+					seed, step, method, arg, i, gotOK, wantOK, err)
 			}
 			if err != nil {
 				if !engine.IsConflict(err) {
@@ -131,6 +140,10 @@ func TestForwardIndexedMatchesInterpretedOracle(t *testing.T) {
 			if s.elems[x] != o.elems[x] {
 				t.Fatalf("seed %d: state divergence at %d: %v vs %v", seed, x, s.elems[x], o.elems[x])
 			}
+		}
+		// The schedules above must actually have exercised the index.
+		if st := s.g.Stats(); st.Probes == 0 {
+			t.Fatalf("seed %d: index never probed", seed)
 		}
 	}
 }
