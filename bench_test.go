@@ -243,93 +243,18 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 // --- detector micro-benchmarks (ablation: raw cost per guarded op) -------
+//
+// Bodies live in internal/bench/micro.go, shared with `commlat bench
+// -json` (which emits BENCH_detectors.json for the CI allocation gate).
+// The wrappers pin the historical benchmark names.
 
-func BenchmarkDetectorAbslockRW(b *testing.B) {
-	s := intset.NewRWLocked(intset.NewHashRep())
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := s.Add(tx, int64(i%1024)); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorGlobalLock(b *testing.B) {
-	s := intset.NewGlobalLock(intset.NewHashRep())
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := s.Add(tx, int64(i%1024)); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorLiberalLock(b *testing.B) {
-	// The footnote-6 guarded-mode scheme implementing figure 2 with locks.
-	s := intset.NewLiberalLocked(intset.NewHashRep())
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := s.Add(tx, int64(i%1024)); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorForwardGatekeeper(b *testing.B) {
-	s := intset.NewGatekept(intset.NewHashRep())
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := s.Add(tx, int64(i%1024)); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorGeneralGatekeeper(b *testing.B) {
-	uf := unionfind.NewGK(1 << 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := uf.Union(tx, int64(i%(1<<15)), int64(i%(1<<15))+1); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorUnionFindGeneric(b *testing.B) {
-	// Ablation: the spec-interpreting generic engine vs the hand-built
-	// concrete gatekeeper above (same conditions, different machinery).
-	uf := unionfind.NewGeneric(1 << 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := uf.Union(tx, int64(i%(1<<15)), int64(i%(1<<15))+1); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
-
-func BenchmarkDetectorUnionFindML(b *testing.B) {
-	uf := unionfind.NewML(1 << 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tx := engine.NewTx()
-		if _, err := uf.Union(tx, int64(i%(1<<15)), int64(i%(1<<15))+1); err != nil {
-			b.Fatal(err)
-		}
-		tx.Commit()
-	}
-}
+func BenchmarkDetectorAbslockRW(b *testing.B)         { bench.DetectorAbslockRW(b) }
+func BenchmarkDetectorGlobalLock(b *testing.B)        { bench.DetectorGlobalLock(b) }
+func BenchmarkDetectorLiberalLock(b *testing.B)       { bench.DetectorLiberalLock(b) }
+func BenchmarkDetectorForwardGatekeeper(b *testing.B) { bench.DetectorForwardGatekeeper(b) }
+func BenchmarkDetectorGeneralGatekeeper(b *testing.B) { bench.DetectorGeneralGatekeeper(b) }
+func BenchmarkDetectorUnionFindGeneric(b *testing.B)  { bench.DetectorUnionFindGeneric(b) }
+func BenchmarkDetectorUnionFindML(b *testing.B)       { bench.DetectorUnionFindML(b) }
 
 func BenchmarkSynthesize(b *testing.B) {
 	spec := flowgraph.RWSpec()
@@ -343,19 +268,7 @@ func BenchmarkSynthesize(b *testing.B) {
 	}
 }
 
-func BenchmarkCondEval(b *testing.B) {
-	cond := intset.PreciseSpec().Cond("add", "contains")
-	env := &core.PairEnv{
-		Inv1: core.NewInvocation("add", []core.Value{int64(1)}, true),
-		Inv2: core.NewInvocation("contains", []core.Value{int64(2)}, false),
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Eval(cond, env); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkCondEval(b *testing.B) { bench.CondEval(b) }
 
 // --- Detector-runtime contention (§3.4 overhead under parallelism) ------
 //
@@ -383,19 +296,22 @@ func BenchmarkManagerContention(b *testing.B) {
 		var i int64
 		for pb.Next() {
 			i++
-			tx := engine.NewTx()
+			tx := engine.GetTx()
 			k := base | (i & 1023)
-			if err := mgr.PreAcquire(tx, "add", []core.Value{k}); err != nil {
+			if err := mgr.PreAcquire(tx, "add", core.Args1(core.VInt(k))); err != nil {
 				b.Error(err)
 				tx.Abort()
+				engine.PutTx(tx)
 				continue
 			}
-			if err := mgr.PreAcquire(tx, "contains", []core.Value{k + (1 << 20)}); err != nil {
+			if err := mgr.PreAcquire(tx, "contains", core.Args1(core.VInt(k+(1<<20)))); err != nil {
 				b.Error(err)
 				tx.Abort()
+				engine.PutTx(tx)
 				continue
 			}
 			tx.Commit()
+			engine.PutTx(tx)
 		}
 	})
 }
@@ -412,8 +328,8 @@ func benchForwardHotPath(b *testing.B, activeMethod string, nActive int) {
 	holder := engine.NewTx()
 	defer holder.Commit()
 	for i := int64(1); i <= int64(nActive); i++ {
-		if _, err := g.Invoke(holder, activeMethod, []core.Value{-i}, func() gatekeeper.Effect {
-			return gatekeeper.Effect{Ret: activeMethod == "add"}
+		if _, err := g.Invoke(holder, activeMethod, core.Args1(core.VInt(-i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(activeMethod == "add")}
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -425,14 +341,15 @@ func benchForwardHotPath(b *testing.B, activeMethod string, nActive int) {
 		var i int64
 		for pb.Next() {
 			i++
-			tx := engine.NewTx()
+			tx := engine.GetTx()
 			k := base | (i & 1023)
-			if _, err := g.Invoke(tx, "contains", []core.Value{k}, func() gatekeeper.Effect {
-				return gatekeeper.Effect{Ret: false}
+			if _, err := g.Invoke(tx, "contains", core.Args1(core.VInt(k)), func() gatekeeper.Effect {
+				return gatekeeper.Effect{Ret: core.VBool(false)}
 			}); err != nil {
 				b.Error(err)
 			}
 			tx.Commit()
+			engine.PutTx(tx)
 		}
 	})
 }
@@ -454,37 +371,6 @@ func BenchmarkForwardHotPath(b *testing.B) {
 // window; with the index disabled (the seed behaviour) every active
 // entry is scanned and checked, so cost grows linearly.
 
-func benchForwardWindow(b *testing.B, disable bool, window int) {
-	b.Helper()
-	g, err := gatekeeper.NewForwardConfig(intset.PreciseSpec(), nil,
-		gatekeeper.Config{DisableIndex: disable})
-	if err != nil {
-		b.Fatal(err)
-	}
-	holder := engine.NewTx()
-	defer holder.Commit()
-	for i := int64(1); i <= int64(window); i++ {
-		if _, err := g.Invoke(holder, "add", []core.Value{-i}, func() gatekeeper.Effect {
-			return gatekeeper.Effect{Ret: true}
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	base := int64(1) << 40
-	b.ReportAllocs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n++ {
-		tx := engine.NewTx()
-		k := base | int64(n&8191)
-		if _, err := g.Invoke(tx, "add", []core.Value{k}, func() gatekeeper.Effect {
-			return gatekeeper.Effect{Ret: true}
-		}); err != nil {
-			b.Error(err)
-		}
-		tx.Commit()
-	}
-}
-
 func BenchmarkForwardIndexed(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
@@ -492,48 +378,12 @@ func BenchmarkForwardIndexed(b *testing.B) {
 	}{{"indexed", false}, {"scan", true}} {
 		for _, w := range []int{64, 512, 4096} {
 			b.Run(fmt.Sprintf("%s/window=%d", mode.name, w), func(b *testing.B) {
-				benchForwardWindow(b, mode.disable, w)
+				bench.ForwardWindow(b, mode.disable, w)
 			})
 		}
 	}
 }
 
-func benchGeneralSetWindow(b *testing.B, disable bool, window int) {
-	b.Helper()
-	g, err := gatekeeper.NewGeneralConfig(intset.PreciseSpec(), nil,
-		gatekeeper.Config{DisableIndex: disable})
-	if err != nil {
-		b.Fatal(err)
-	}
-	holder := engine.NewTx()
-	defer holder.Commit()
-	for i := int64(1); i <= int64(window); i++ {
-		if _, err := g.Invoke(holder, "add", []core.Value{-i}, func() gatekeeper.GEffect {
-			return gatekeeper.GEffect{Ret: true}
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	base := int64(1) << 40
-	b.ReportAllocs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n++ {
-		tx := engine.NewTx()
-		k := base | int64(n&8191)
-		if _, err := g.Invoke(tx, "add", []core.Value{k}, func() gatekeeper.GEffect {
-			return gatekeeper.GEffect{Ret: true}
-		}); err != nil {
-			b.Error(err)
-		}
-		tx.Commit()
-	}
-}
-
-// benchGeneralUFWindow measures the documented fallback regime: the
-// union-find conditions guard on rep(s1, ·) of second-invocation
-// values, which admits no first/second side split, so union pairs scan
-// regardless of the index. A window of active finds is checked by each
-// incoming union via the rollback path.
 func benchGeneralUFWindow(b *testing.B, window int) {
 	b.Helper()
 	uf := unionfind.NewGeneric(1 << 20)
@@ -548,12 +398,13 @@ func benchGeneralUFWindow(b *testing.B, window int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		tx := engine.NewTx()
+		tx := engine.GetTx()
 		a := base + int64(n%(1<<18))*2
 		if _, err := uf.Union(tx, a, a+1); err != nil {
 			b.Error(err)
 		}
 		tx.Commit()
+		engine.PutTx(tx)
 	}
 }
 
@@ -564,7 +415,7 @@ func BenchmarkGeneralIndexed(b *testing.B) {
 	}{{"indexed", false}, {"scan", true}} {
 		for _, w := range []int{64, 512, 4096} {
 			b.Run(fmt.Sprintf("set/%s/window=%d", mode.name, w), func(b *testing.B) {
-				benchGeneralSetWindow(b, mode.disable, w)
+				bench.GeneralSetWindow(b, mode.disable, w)
 			})
 		}
 	}

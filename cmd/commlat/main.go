@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -98,6 +99,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdTable1(args)
 	case "table2":
 		err = cmdTable2(args)
+	case "bench":
+		err = cmdBench(args)
 	case "fig10", "fig11", "fig12":
 		err = cmdFig(cmd, args)
 	case "matrices":
@@ -130,6 +133,8 @@ func usage() {
 commands:
   table1    critical path / parallelism / overhead per app and variant
   table2    set microbenchmark abort ratios and times
+  bench     detector micro-benchmarks (ns/op, allocs/op); -json writes
+            BENCH_detectors.json for the CI allocation gate
   fig10     preflow-push run time vs threads (ml, ex, part)
   fig11     clustering run time vs threads (kd-gk vs kd-ml)
   fig12     Boruvka run time vs threads (uf-gk vs uf-ml)
@@ -144,6 +149,9 @@ commands:
 global flags (before the command):
   -cpuprofile FILE  write a pprof CPU profile of the whole run
   -memprofile FILE  write a pprof heap profile at exit
+table1, table2, fig10-12, model, adaptive and bench also accept
+-cpuprofile/-memprofile after the command, scoping the profile to that
+command's measured work.
 
 run "commlat <command> -h" for flags.`)
 }
@@ -160,6 +168,105 @@ func parseThreads(s string) ([]int, error) {
 	return out, nil
 }
 
+// profileFlags registers -cpuprofile/-memprofile on a subcommand's flag
+// set, so profiles can be scoped to one command's work (the global
+// pre-command flags still cover whole runs). Call start after parsing
+// and the returned stop when the command's work is done.
+type profileFlags struct {
+	cpu, mem *string
+	f        *os.File
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	p.cpu = fs.String("cpuprofile", "", "write a pprof CPU profile of this command")
+	p.mem = fs.String("memprofile", "", "write a pprof heap profile when this command ends")
+	return p
+}
+
+func (p *profileFlags) start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+func (p *profileFlags) stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		p.f.Close()
+		p.f = nil
+	}
+	if *p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // capture the retained heap, not transient garbage
+	return pprof.WriteHeapProfile(f)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write the results as JSON to -o")
+	out := fs.String("o", "BENCH_detectors.json", "output path for -json (- for stdout)")
+	run := fs.String("run", "", "regexp selecting benchmarks to run (default all)")
+	quiet := fs.Bool("q", false, "suppress the progress table")
+	prof := addProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var filter *regexp.Regexp
+	if *run != "" {
+		var err error
+		if filter, err = regexp.Compile(*run); err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	progress := io.Writer(os.Stderr)
+	if *quiet {
+		progress = nil
+	}
+	results := bench.RunMicros(filter, progress)
+	if err := prof.stop(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmarks match %q", *run)
+	}
+	if !*jsonOut {
+		return nil
+	}
+	rep := bench.Report(results)
+	if *out == "-" {
+		return bench.WriteJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	cfg := bench.DefaultTable1()
@@ -169,10 +276,17 @@ func cmdTable1(args []string) error {
 	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points (paper: 100000)")
 	fs.IntVar(&cfg.Parts, "parts", cfg.Parts, "preflow partitions (paper: 32)")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
 	rows, err := bench.Table1(cfg)
+	if perr := prof.stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -189,10 +303,17 @@ func cmdTable2(args []string) error {
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "stream seed")
 	fs.BoolVar(&cfg.Extended, "ext", false, "add extension rows (liberal locks, object STM)")
 	stats := fs.Bool("stats", false, "print gatekeeper work counters (probes, collisions, fallbacks)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
 	rows, err := bench.Table2(cfg)
+	if perr := prof.stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -214,12 +335,16 @@ func cmdFig(name string, args []string) error {
 	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points (paper: 500000)")
 	fs.IntVar(&cfg.MeshN, "mesh", cfg.MeshN, "Boruvka mesh side (paper: 1000)")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var err error
 	cfg.Threads, err = parseThreads(*threads)
 	if err != nil {
+		return err
+	}
+	if err := prof.start(); err != nil {
 		return err
 	}
 	var fig bench.Figure
@@ -230,6 +355,9 @@ func cmdFig(name string, args []string) error {
 		fig, err = bench.Fig11(cfg)
 	default:
 		fig, err = bench.Fig12(cfg)
+	}
+	if perr := prof.stop(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		return err
@@ -277,6 +405,7 @@ func cmdModel(args []string) error {
 	fs.IntVar(&cfg.MeshN, "mesh", cfg.MeshN, "Boruvka mesh side")
 	fs.IntVar(&cfg.Points, "points", cfg.Points, "clustering points")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,7 +413,13 @@ func cmdModel(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
 	rows, err := bench.Table1(cfg)
+	if perr := prof.stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -347,12 +482,19 @@ func cmdAdaptive(args []string) error {
 	epoch := fs.Int("epoch", 5000, "epoch size")
 	window := fs.Int("window", 4, "overlap window (threads)")
 	seed := fs.Int64("seed", 1, "stream seed")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := prof.start(); err != nil {
 		return err
 	}
 	ladder := adaptive.DefaultLadder()
 	stream := workload.SetOpsClasses(*ops, *classes, *seed)
 	trace, err := adaptive.Run(ladder, stream, *epoch, *window, 0)
+	if perr := prof.stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

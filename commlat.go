@@ -64,6 +64,15 @@ type (
 	Class = core.Class
 	// Model is an executable reference used to validate specifications.
 	Model = core.Model
+	// Args is a flat argument vector (inline up to 4 values).
+	Args = core.Vec
+)
+
+// Tagged-value constructors: V normalizes any Go value into the inline
+// tagged representation; MakeArgs builds an argument vector.
+var (
+	V        = core.V
+	MakeArgs = core.MakeVec
 )
 
 // Classification results.

@@ -42,25 +42,25 @@ func main() {
 	mgr := abslock.NewManager(reduced, nil)
 	total := 0
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
-	if _, err := mgr.Invoke(tx1, "inc", []core.Value{int64(5)}, func() core.Value {
+	if _, err := mgr.Invoke(tx1, "inc", core.Args1(core.VInt(5)), func() core.Value {
 		total += 5
 		tx1.OnUndo(func() { total -= 5 })
-		return nil
+		return core.Value{}
 	}); err != nil {
 		panic(err)
 	}
 	// A concurrent increment commutes...
-	if _, err := mgr.Invoke(tx2, "inc", []core.Value{int64(3)}, func() core.Value {
+	if _, err := mgr.Invoke(tx2, "inc", core.Args1(core.VInt(3)), func() core.Value {
 		total += 3
 		tx2.OnUndo(func() { total -= 3 })
-		return nil
+		return core.Value{}
 	}); err != nil {
 		panic(err)
 	}
 	fmt.Println("two concurrent increments: no conflict, total =", total)
 	// ...but a read under a live increment conflicts.
 	tx3 := engine.NewTx()
-	_, err = mgr.Invoke(tx3, "read", nil, func() core.Value { return int64(total) })
+	_, err = mgr.Invoke(tx3, "read", core.Vec{}, func() core.Value { return core.VInt(int64(total)) })
 	fmt.Println("concurrent read conflicts:", engine.IsConflict(err))
 	tx3.Abort()
 	tx1.Commit()

@@ -26,8 +26,8 @@ func ExampleSynthesize() {
 
 	mgr := abslock.NewManager(reduced, nil)
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
-	err1 := mgr.PreAcquire(tx1, "inc", []core.Value{int64(1)})
-	err2 := mgr.PreAcquire(tx2, "read", nil)
+	err1 := mgr.PreAcquire(tx1, "inc", core.MakeVec(core.V(int64(1))))
+	err2 := mgr.PreAcquire(tx2, "read", core.Vec{})
 	fmt.Println("inc acquired:", err1 == nil)
 	fmt.Println("read conflicts:", engine.IsConflict(err2))
 	tx2.Abort()

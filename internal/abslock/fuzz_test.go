@@ -59,11 +59,11 @@ func randInvocation(r *rand.Rand, sig *core.ADTSig) core.Invocation {
 	m := sig.Methods[r.Intn(len(sig.Methods))]
 	args := make([]core.Value, len(m.Params))
 	for i := range args {
-		args[i] = int64(r.Intn(3))
+		args[i] = core.VInt(int64(r.Intn(3)))
 	}
 	var ret core.Value
 	if m.HasRet {
-		ret = int64(r.Intn(3))
+		ret = core.VInt(int64(r.Intn(3)))
 	}
 	return core.NewInvocation(m.Name, args, ret)
 }

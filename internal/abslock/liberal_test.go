@@ -68,7 +68,7 @@ func TestLiberalImplementsFigure2(t *testing.T) {
 		t.Fatal(err)
 	}
 	methods := []string{"add", "remove", "contains"}
-	rets := []core.Value{true, false}
+	rets := []core.Value{core.VBool(true), core.VBool(false)}
 	for _, sch := range []*Scheme{scheme, scheme.Reduce()} {
 		for _, m1 := range methods {
 			for _, m2 := range methods {
@@ -76,8 +76,8 @@ func TestLiberalImplementsFigure2(t *testing.T) {
 					for v2 := int64(0); v2 < 2; v2++ {
 						for _, r1 := range rets {
 							for _, r2 := range rets {
-								inv1 := core.NewInvocation(m1, []core.Value{v1}, r1)
-								inv2 := core.NewInvocation(m2, []core.Value{v2}, r2)
+								inv1 := core.NewInvocation(m1, []core.Value{core.VInt(v1)}, r1)
+								inv2 := core.NewInvocation(m2, []core.Value{core.VInt(v2)}, r2)
 								want, err := core.Eval(spec.Cond(m1, m2), &core.PairEnv{Inv1: inv1, Inv2: inv2})
 								if err != nil {
 									t.Fatal(err)
@@ -106,16 +106,16 @@ func TestLiberalNonMutatingAddsShare(t *testing.T) {
 	defer tx2.Abort()
 	defer tx3.Abort()
 	// Two non-mutating adds of the same element share.
-	if _, err := m.Invoke(tx1, "add", []core.Value{int64(5)}, func() core.Value { return false }); err != nil {
+	if _, err := m.Invoke(tx1, "add", core.Args1(core.VInt(5)), func() core.Value { return core.VBool(false) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Invoke(tx2, "add", []core.Value{int64(5)}, func() core.Value { return false }); err != nil {
+	if _, err := m.Invoke(tx2, "add", core.Args1(core.VInt(5)), func() core.Value { return core.VBool(false) }); err != nil {
 		t.Fatalf("non-mutating adds should share under liberal locking: %v", err)
 	}
 	// A mutating add of the same element conflicts (after execution, so
 	// the caller must roll back via the tx undo log).
 	ran := false
-	if _, err := m.Invoke(tx3, "add", []core.Value{int64(5)}, func() core.Value { ran = true; return true }); !engine.IsConflict(err) {
+	if _, err := m.Invoke(tx3, "add", core.Args1(core.VInt(5)), func() core.Value { ran = true; return core.VBool(true) }); !engine.IsConflict(err) {
 		t.Fatalf("mutating add should conflict, got %v", err)
 	}
 	if !ran {
@@ -166,8 +166,8 @@ func TestLiberalFalseIsGlobal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inv1 := core.NewInvocation("add", []core.Value{int64(1)}, true)
-	inv2 := core.NewInvocation("contains", []core.Value{int64(9)}, false)
+	inv1 := core.NewInvocation("add", []core.Value{core.V(int64(1))}, core.VBool(true))
+	inv2 := core.NewInvocation("contains", []core.Value{core.V(int64(9))}, core.VBool(false))
 	if schemeAllows(t, scheme, nil, inv1, inv2) {
 		t.Error("bottom spec must serialize everything")
 	}

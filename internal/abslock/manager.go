@@ -2,7 +2,6 @@ package abslock
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -35,12 +34,29 @@ type dlock struct {
 // per-transaction held-key lists, and a small free list of recycled
 // dlocks so steady-state acquisition does not allocate. The padding keeps
 // adjacent stripes on separate cache lines.
+//
+// The lock map is keyed by the datum key's precomputed 64-bit hash with
+// small collision buckets, not by the datumKey struct itself: a struct
+// key embedding a tagged core.Value would make every map operation hash
+// two strings and an interface field, which dominated the guarded
+// application profiles. Hashing a uint64 is a single memhash64. Emptied
+// buckets are deleted (so distinct-heavy workloads don't grow the map
+// without bound) but their backing arrays are recycled through
+// freeSlots, keeping steady-state acquisition allocation-free.
 type stripe struct {
-	mu   sync.Mutex
-	data map[datumKey]*dlock
-	held map[*engine.Tx][]datumKey
-	free []*dlock
-	_    [24]byte
+	mu        sync.Mutex
+	data      map[uint64][]dslot
+	held      map[*engine.Tx][]datumKey
+	free      []*dlock
+	freeHeld  [][]datumKey // recycled per-tx held-key lists
+	freeSlots [][]dslot    // recycled collision-bucket backing arrays
+	_         [24]byte
+}
+
+// dslot is one datum lock in a stripe's collision bucket.
+type dslot struct {
+	dk datumKey
+	l  *dlock
 }
 
 // maxFreeDlocks caps each stripe's dlock free list.
@@ -77,6 +93,7 @@ type Manager struct {
 }
 
 type datumKey struct {
+	h   uint64 // precomputed v.Hash() ^ fnv64(key); derived, so safe under ==
 	key string // "" for identity, else key-function name (namespaces values)
 	v   core.Value
 }
@@ -118,7 +135,7 @@ func newManagerWithStripes(scheme *Scheme, keys map[string]KeyFunc, n int) *Mana
 		dsHooked: map[*engine.Tx]struct{}{},
 	}
 	for i := range m.stripes {
-		m.stripes[i].data = map[datumKey]*dlock{}
+		m.stripes[i].data = map[uint64][]dslot{}
 		m.stripes[i].held = map[*engine.Tx][]datumKey{}
 	}
 	for i := range scheme.Modes {
@@ -136,36 +153,6 @@ func newManagerWithStripes(scheme *Scheme, keys map[string]KeyFunc, n int) *Mana
 // Scheme returns the scheme the manager enforces.
 func (m *Manager) Scheme() *Scheme { return m.scheme }
 
-// hashValue hashes a normalized datum value to pick a stripe. The common
-// kinds get direct bit mixing; exotic comparable values (kd-tree points
-// and the like) fall back to hashing their printed form.
-func hashValue(v core.Value) uint64 {
-	switch x := v.(type) {
-	case int64:
-		return splitmix64(uint64(x))
-	case float64:
-		return splitmix64(math.Float64bits(x))
-	case string:
-		return fnv64(x)
-	case bool:
-		if x {
-			return 0x9e3779b97f4a7c15
-		}
-		return 0xbf58476d1ce4e5b9
-	case nil:
-		return 0x94d049bb133111eb
-	default:
-		return fnv64(fmt.Sprint(x))
-	}
-}
-
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 func fnv64(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
@@ -176,11 +163,7 @@ func fnv64(s string) uint64 {
 }
 
 func (m *Manager) stripeIndex(dk *datumKey) int {
-	h := hashValue(dk.v)
-	if dk.key != "" {
-		h ^= fnv64(dk.key)
-	}
-	return int(uint32(h>>32^h) & m.mask)
+	return int(uint32(dk.h>>32^dk.h) & m.mask)
 }
 
 // plannedAcq is one resolved acquisition of an invocation: its datum key
@@ -196,22 +179,22 @@ type plannedAcq struct {
 // method with args, in the scheme's modes. On conflict it returns an
 // error satisfying engine.IsConflict and leaves any locks it already took
 // held (they are released when the transaction aborts).
-func (m *Manager) PreAcquire(tx *engine.Tx, method string, args []core.Value) error {
-	return m.acquireSet(tx, method, args, nil, false)
+func (m *Manager) PreAcquire(tx *engine.Tx, method string, args core.Vec) error {
+	return m.acquireSet(tx, method, args, core.Value{}, false)
 }
 
 // PostAcquire takes the post-execution locks: return-value targets plus
 // any guarded acquisitions whose guard inspects the return value. A
 // conflict here means the invocation must be rolled back by the
 // transaction's undo log.
-func (m *Manager) PostAcquire(tx *engine.Tx, method string, args []core.Value, ret core.Value) error {
+func (m *Manager) PostAcquire(tx *engine.Tx, method string, args core.Vec, ret core.Value) error {
 	return m.acquireSet(tx, method, args, ret, true)
 }
 
 // acquireSet resolves the pre- or post-phase acquisitions of an
 // invocation (modes, key functions, stripes — all computed outside any
 // lock), orders them by stripe, and takes them one stripe at a time.
-func (m *Manager) acquireSet(tx *engine.Tx, method string, args []core.Value, ret core.Value, post bool) error {
+func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret core.Value, post bool) error {
 	acqs := m.scheme.Acquire[method]
 	var buf [8]plannedAcq
 	plan := buf[:0]
@@ -228,7 +211,7 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args []core.Value, re
 		case TargetDS:
 			plan = append(plan, plannedAcq{sidx: -1, mode: mode})
 		case TargetArg:
-			dk, err := m.datumKeyFor(a.Key, args[a.Arg])
+			dk, err := m.datumKeyFor(a.Key, args.At(a.Arg))
 			if err != nil {
 				return err
 			}
@@ -260,7 +243,7 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args []core.Value, re
 		s := &m.stripes[plan[i].sidx]
 		s.mu.Lock()
 		for ; i < len(plan) && &m.stripes[plan[i].sidx] == s; i++ {
-			if err := m.acquireInStripe(s, tx, plan[i].dk, plan[i].mode); err != nil {
+			if err := m.acquireInStripe(s, tx, &plan[i].dk, plan[i].mode); err != nil {
 				s.mu.Unlock()
 				return err
 			}
@@ -271,24 +254,29 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args []core.Value, re
 }
 
 func (m *Manager) datumKeyFor(key string, v core.Value) (datumKey, error) {
-	v = core.Norm(v)
 	if key != "" {
 		f, ok := m.keys[key]
 		if !ok {
 			return datumKey{}, fmt.Errorf("abslock: no implementation for key function %q", key)
 		}
-		v = core.Norm(f(v))
+		v = f(v)
 	}
-	return datumKey{key, v}, nil
+	// Tagged values carry a cheap precomputed hash; only KindRef datum
+	// values (kd-tree points and the like) pay for formatting.
+	h := v.Hash()
+	if key != "" {
+		h ^= fnv64(key)
+	}
+	return datumKey{h: h, key: key, v: v}, nil
 }
 
 // pickMode resolves a (possibly guarded) acquisition's mode against the
 // invoking invocation.
-func (m *Manager) pickMode(a *Acquisition, method string, args []core.Value, ret core.Value) (int, error) {
+func (m *Manager) pickMode(a *Acquisition, method string, args core.Vec, ret core.Value) (int, error) {
 	if a.Guard == nil {
 		return a.Mode, nil
 	}
-	ok, err := core.Eval(a.Guard, core.OwnEnv(core.NewInvocation(method, args, ret)))
+	ok, err := core.Eval(a.Guard, core.OwnEnv(core.MakeInvocation(method, args, ret)))
 	if err != nil {
 		return 0, fmt.Errorf("abslock: evaluating guard for %s: %w", method, err)
 	}
@@ -300,9 +288,9 @@ func (m *Manager) pickMode(a *Acquisition, method string, args []core.Value, ret
 
 // Invoke guards a complete method invocation: pre-acquire, execute,
 // post-acquire. exec runs only if the pre-acquisitions succeed.
-func (m *Manager) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() core.Value) (core.Value, error) {
+func (m *Manager) Invoke(tx *engine.Tx, method string, args core.Vec, exec func() core.Value) (core.Value, error) {
 	if err := m.PreAcquire(tx, method, args); err != nil {
-		return nil, err
+		return core.Value{}, err
 	}
 	ret := exec()
 	if err := m.PostAcquire(tx, method, args, ret); err != nil {
@@ -322,15 +310,64 @@ func (m *Manager) acquireDS(tx *engine.Tx, mode int) error {
 	if isNew {
 		if _, hooked := m.dsHooked[tx]; !hooked {
 			m.dsHooked[tx] = struct{}{}
-			tx.OnRelease(func() { m.releaseDS(tx) })
+			tx.OnReleaser(m)
 		}
 	}
 	return nil
 }
 
+// lookup finds dk's lock in its collision bucket (s.mu held).
+func (s *stripe) lookup(dk *datumKey) *dlock {
+	slots := s.data[dk.h]
+	for i := range slots {
+		if slots[i].dk == *dk {
+			return slots[i].l
+		}
+	}
+	return nil
+}
+
+// insert adds dk's lock to its collision bucket (s.mu held), reusing a
+// recycled backing array for fresh buckets when one is available.
+func (s *stripe) insert(dk *datumKey, l *dlock) {
+	slots, ok := s.data[dk.h]
+	if !ok {
+		if n := len(s.freeSlots); n > 0 {
+			slots = s.freeSlots[n-1]
+			s.freeSlots[n-1] = nil
+			s.freeSlots = s.freeSlots[:n-1]
+		}
+	}
+	s.data[dk.h] = append(slots, dslot{*dk, l})
+}
+
+// remove drops dk from its collision bucket (s.mu held). The emptied
+// slot is zeroed (datum keys embed core.Values that may reference user
+// data); an emptied bucket is deleted from the map and its backing
+// array recycled.
+func (s *stripe) remove(dk *datumKey) {
+	slots := s.data[dk.h]
+	for i := range slots {
+		if slots[i].dk == *dk {
+			last := len(slots) - 1
+			slots[i] = slots[last]
+			slots[last] = dslot{}
+			if last == 0 {
+				delete(s.data, dk.h)
+				if len(s.freeSlots) < maxFreeDlocks {
+					s.freeSlots = append(s.freeSlots, slots[:0])
+				}
+			} else {
+				s.data[dk.h] = slots[:last]
+			}
+			return
+		}
+	}
+}
+
 // acquireInStripe must run with s.mu held.
-func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk datumKey, mode int) error {
-	l := s.data[dk]
+func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk *datumKey, mode int) error {
+	l := s.lookup(dk)
 	fresh := false
 	if l == nil {
 		if n := len(s.free); n > 0 {
@@ -340,23 +377,29 @@ func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk datumKey, mode in
 		} else {
 			l = &dlock{}
 		}
-		s.data[dk] = l
+		s.insert(dk, l)
 		fresh = true
 	}
 	isNew, err := m.lockModes(tx, l, mode)
 	if err != nil {
 		if fresh {
-			delete(s.data, dk) // don't leave an empty lock behind
+			s.remove(dk) // don't leave an empty lock behind
 			s.recycle(l)
 		}
 		return err
 	}
 	if isNew {
-		if _, hooked := s.held[tx]; !hooked {
-			s.held[tx] = nil
-			tx.OnRelease(func() { m.releaseStripe(s, tx) })
+		if lst, hooked := s.held[tx]; !hooked {
+			if n := len(s.freeHeld); n > 0 {
+				lst = s.freeHeld[n-1]
+				s.freeHeld[n-1] = nil
+				s.freeHeld = s.freeHeld[:n-1]
+			}
+			s.held[tx] = append(lst, *dk)
+			tx.OnReleaser(s)
+		} else {
+			s.held[tx] = append(lst, *dk)
 		}
-		s.held[tx] = append(s.held[tx], dk)
 	}
 	return nil
 }
@@ -395,22 +438,35 @@ func (s *stripe) recycle(l *dlock) {
 	}
 }
 
-// releaseStripe drops everything tx holds in one stripe. Installed as a
-// transaction release hook on the transaction's first acquisition there.
-func (m *Manager) releaseStripe(s *stripe, tx *engine.Tx) {
+// ReleaseTx drops everything tx holds in this stripe. The stripe itself
+// is the transaction's release hook (engine.Releaser), installed on the
+// transaction's first acquisition there, so registration allocates no
+// closure. The held-key list is zeroed (datum keys embed core.Values
+// that may reference user data) and recycled.
+func (s *stripe) ReleaseTx(tx *engine.Tx) {
 	s.mu.Lock()
-	for _, dk := range s.held[tx] {
-		if l := s.data[dk]; l != nil {
+	lst := s.held[tx]
+	for i := range lst {
+		dk := &lst[i]
+		if l := s.lookup(dk); l != nil {
 			dropHolder(l, tx)
 			if len(l.holders) == 0 {
-				delete(s.data, dk)
+				s.remove(dk)
 				s.recycle(l)
 			}
 		}
+		lst[i] = datumKey{}
+	}
+	if lst != nil {
+		s.freeHeld = append(s.freeHeld, lst[:0])
 	}
 	delete(s.held, tx)
 	s.mu.Unlock()
 }
+
+// ReleaseTx drops the transaction's ds-lock hold; the Manager is the
+// ds-lock's release hook (engine.Releaser).
+func (m *Manager) ReleaseTx(tx *engine.Tx) { m.releaseDS(tx) }
 
 func (m *Manager) releaseDS(tx *engine.Tx) {
 	m.dsMu.Lock()
@@ -427,7 +483,7 @@ func (m *Manager) releaseDS(tx *engine.Tx) {
 func (m *Manager) ReleaseAll(tx *engine.Tx) {
 	m.releaseDS(tx)
 	for i := range m.stripes {
-		m.releaseStripe(&m.stripes[i], tx)
+		m.stripes[i].ReleaseTx(tx)
 	}
 }
 
@@ -449,7 +505,9 @@ func (m *Manager) HeldLocks() int {
 	for i := range m.stripes {
 		s := &m.stripes[i]
 		s.mu.Lock()
-		n += len(s.data)
+		for _, slots := range s.data {
+			n += len(slots)
+		}
 		s.mu.Unlock()
 	}
 	return n

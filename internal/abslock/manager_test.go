@@ -22,10 +22,10 @@ func TestManagerSameTxReentrant(t *testing.T) {
 	tx := engine.NewTx()
 	defer tx.Abort()
 	// A transaction may re-acquire its own locks in any mode.
-	if err := m.PreAcquire(tx, "contains", []core.Value{int64(1)}); err != nil {
+	if err := m.PreAcquire(tx, "contains", core.MakeVec(core.V(int64(1)))); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.PreAcquire(tx, "add", []core.Value{int64(1)}); err != nil {
+	if err := m.PreAcquire(tx, "add", core.MakeVec(core.V(int64(1)))); err != nil {
 		t.Fatalf("self-upgrade should not conflict: %v", err)
 	}
 }
@@ -34,20 +34,20 @@ func TestManagerConflictAndRelease(t *testing.T) {
 	m := newRWSetManager(t)
 	tx1 := engine.NewTx()
 	tx2 := engine.NewTx()
-	if err := m.PreAcquire(tx1, "add", []core.Value{int64(7)}); err != nil {
+	if err := m.PreAcquire(tx1, "add", core.MakeVec(core.V(int64(7)))); err != nil {
 		t.Fatal(err)
 	}
-	err := m.PreAcquire(tx2, "contains", []core.Value{int64(7)})
+	err := m.PreAcquire(tx2, "contains", core.MakeVec(core.V(int64(7))))
 	if !engine.IsConflict(err) {
 		t.Fatalf("expected conflict, got %v", err)
 	}
 	// Different element: fine.
-	if err := m.PreAcquire(tx2, "contains", []core.Value{int64(8)}); err != nil {
+	if err := m.PreAcquire(tx2, "contains", core.MakeVec(core.V(int64(8)))); err != nil {
 		t.Fatal(err)
 	}
 	// Commit tx1; its locks vanish via the release hook.
 	tx1.Commit()
-	if err := m.PreAcquire(tx2, "add", []core.Value{int64(7)}); err != nil {
+	if err := m.PreAcquire(tx2, "add", core.MakeVec(core.V(int64(7)))); err != nil {
 		t.Fatalf("lock should be free after commit: %v", err)
 	}
 	tx2.Abort()
@@ -61,16 +61,16 @@ func TestManagerReadersShare(t *testing.T) {
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
 	defer tx1.Abort()
 	defer tx2.Abort()
-	if err := m.PreAcquire(tx1, "contains", []core.Value{int64(1)}); err != nil {
+	if err := m.PreAcquire(tx1, "contains", core.MakeVec(core.V(int64(1)))); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.PreAcquire(tx2, "contains", []core.Value{int64(1)}); err != nil {
+	if err := m.PreAcquire(tx2, "contains", core.MakeVec(core.V(int64(1)))); err != nil {
 		t.Fatalf("two contains on the same key should share: %v", err)
 	}
 	// But a writer now conflicts with both.
 	tx3 := engine.NewTx()
 	defer tx3.Abort()
-	if err := m.PreAcquire(tx3, "remove", []core.Value{int64(1)}); !engine.IsConflict(err) {
+	if err := m.PreAcquire(tx3, "remove", core.MakeVec(core.V(int64(1)))); !engine.IsConflict(err) {
 		t.Fatalf("remove under readers should conflict, got %v", err)
 	}
 }
@@ -79,15 +79,15 @@ func TestManagerInvokeExecGating(t *testing.T) {
 	m := newRWSetManager(t)
 	tx1 := engine.NewTx()
 	defer tx1.Abort()
-	if err := m.PreAcquire(tx1, "add", []core.Value{int64(1)}); err != nil {
+	if err := m.PreAcquire(tx1, "add", core.MakeVec(core.V(int64(1)))); err != nil {
 		t.Fatal(err)
 	}
 	tx2 := engine.NewTx()
 	defer tx2.Abort()
 	ran := false
-	_, err := m.Invoke(tx2, "add", []core.Value{int64(1)}, func() core.Value {
+	_, err := m.Invoke(tx2, "add", core.MakeVec(core.V(int64(1))), func() core.Value {
 		ran = true
-		return true
+		return core.VBool(true)
 	})
 	if !engine.IsConflict(err) {
 		t.Fatalf("expected conflict, got %v", err)
@@ -95,8 +95,8 @@ func TestManagerInvokeExecGating(t *testing.T) {
 	if ran {
 		t.Error("exec must not run when pre-acquisition conflicts")
 	}
-	ret, err := m.Invoke(tx2, "add", []core.Value{int64(2)}, func() core.Value { return true })
-	if err != nil || ret != true {
+	ret, err := m.Invoke(tx2, "add", core.MakeVec(core.V(int64(2))), func() core.Value { return core.VBool(true) })
+	if err != nil || ret != core.VBool(true) {
 		t.Fatalf("Invoke = %v, %v", ret, err)
 	}
 }
@@ -113,7 +113,7 @@ func TestManagerMissingKeyFunc(t *testing.T) {
 	m := NewManager(s, nil)
 	tx := engine.NewTx()
 	defer tx.Abort()
-	if err := m.PreAcquire(tx, "add", []core.Value{int64(1)}); err == nil || engine.IsConflict(err) {
+	if err := m.PreAcquire(tx, "add", core.MakeVec(core.V(int64(1)))); err == nil || engine.IsConflict(err) {
 		t.Errorf("missing key function should be a hard error, got %v", err)
 	}
 }
@@ -128,20 +128,20 @@ func TestManagerPartitionSharing(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewManager(s.Reduce(), map[string]KeyFunc{
-		"part": func(v core.Value) core.Value { return v.(int64) % 2 },
+		"part": func(v core.Value) core.Value { return core.VInt(v.Int() % 2) },
 	})
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
 	defer tx1.Abort()
 	defer tx2.Abort()
-	if err := m.PreAcquire(tx1, "add", []core.Value{int64(2)}); err != nil {
+	if err := m.PreAcquire(tx1, "add", core.MakeVec(core.V(int64(2)))); err != nil {
 		t.Fatal(err)
 	}
 	// 4 is a different element but the same partition: conflict.
-	if err := m.PreAcquire(tx2, "add", []core.Value{int64(4)}); !engine.IsConflict(err) {
+	if err := m.PreAcquire(tx2, "add", core.MakeVec(core.V(int64(4)))); !engine.IsConflict(err) {
 		t.Fatalf("same-partition add should conflict, got %v", err)
 	}
 	// 3 is the other partition: allowed.
-	if err := m.PreAcquire(tx2, "add", []core.Value{int64(3)}); err != nil {
+	if err := m.PreAcquire(tx2, "add", core.MakeVec(core.V(int64(3)))); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -160,7 +160,7 @@ func TestManagerConcurrentStress(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				tx := engine.NewTx()
 				el := int64((seed*31 + int64(i)) % 5)
-				if err := m.PreAcquire(tx, "add", []core.Value{el}); err == nil {
+				if err := m.PreAcquire(tx, "add", core.MakeVec(core.V(el))); err == nil {
 					if prev, loaded := owners.LoadOrStore(el, tx.ID()); loaded {
 						t.Errorf("two writers on %d: %v and %d", el, prev, tx.ID())
 					}

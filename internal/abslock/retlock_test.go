@@ -55,18 +55,18 @@ func TestRetLockPostAcquireConflict(t *testing.T) {
 	// tx1's get returns handle 7: the ret lock is taken after execution.
 	tx1 := engine.NewTx()
 	defer tx1.Abort()
-	ret, err := m.Invoke(tx1, "get", []core.Value{int64(1)}, func() core.Value { return int64(7) })
-	if err != nil || ret != int64(7) {
+	ret, err := m.Invoke(tx1, "get", core.MakeVec(core.V(int64(1))), func() core.Value { return core.VInt(int64(7)) })
+	if err != nil || ret != core.VInt(int64(7)) {
 		t.Fatalf("get = %v, %v", ret, err)
 	}
 	// destroy(7) conflicts with the live get's return handle.
 	tx2 := engine.NewTx()
 	defer tx2.Abort()
-	if err := m.PreAcquire(tx2, "destroy", []core.Value{int64(7)}); !engine.IsConflict(err) {
+	if err := m.PreAcquire(tx2, "destroy", core.MakeVec(core.V(int64(7)))); !engine.IsConflict(err) {
 		t.Fatalf("destroy(7) should conflict, got %v", err)
 	}
 	// destroy(8) proceeds.
-	if err := m.PreAcquire(tx2, "destroy", []core.Value{int64(8)}); err != nil {
+	if err := m.PreAcquire(tx2, "destroy", core.MakeVec(core.V(int64(8)))); err != nil {
 		t.Fatal(err)
 	}
 	// The reverse direction: destroy(9) live, then a get returning 9
@@ -74,13 +74,13 @@ func TestRetLockPostAcquireConflict(t *testing.T) {
 	// roll the execution back via the tx undo log.
 	tx3, tx4 := engine.NewTx(), engine.NewTx()
 	defer tx3.Abort()
-	if err := m.PreAcquire(tx3, "destroy", []core.Value{int64(9)}); err != nil {
+	if err := m.PreAcquire(tx3, "destroy", core.MakeVec(core.V(int64(9)))); err != nil {
 		t.Fatal(err)
 	}
 	executed := false
-	_, err = m.Invoke(tx4, "get", []core.Value{int64(2)}, func() core.Value {
+	_, err = m.Invoke(tx4, "get", core.MakeVec(core.V(int64(2))), func() core.Value {
 		executed = true
-		return int64(9)
+		return core.VInt(int64(9))
 	})
 	if !engine.IsConflict(err) {
 		t.Fatalf("get returning a live-destroyed handle should conflict, got %v", err)
@@ -121,10 +121,10 @@ func TestRetLockTheorem1(t *testing.T) {
 		for h1 := int64(0); h1 < 3; h1++ {
 			for h2 := int64(0); h2 < 3; h2++ {
 				pairs := [][2]core.Invocation{
-					{core.NewInvocation("get", []core.Value{int64(1)}, h1), core.NewInvocation("destroy", []core.Value{h2}, nil)},
-					{core.NewInvocation("destroy", []core.Value{h1}, nil), core.NewInvocation("get", []core.Value{int64(1)}, h2)},
-					{core.NewInvocation("destroy", []core.Value{h1}, nil), core.NewInvocation("destroy", []core.Value{h2}, nil)},
-					{core.NewInvocation("get", []core.Value{h1}, int64(9)), core.NewInvocation("get", []core.Value{h2}, int64(9))},
+					{core.NewInvocation("get", []core.Value{core.V(int64(1))}, core.V(h1)), core.NewInvocation("destroy", []core.Value{core.V(h2)}, core.Value{})},
+					{core.NewInvocation("destroy", []core.Value{core.V(h1)}, core.Value{}), core.NewInvocation("get", []core.Value{core.V(int64(1))}, core.V(h2))},
+					{core.NewInvocation("destroy", []core.Value{core.V(h1)}, core.Value{}), core.NewInvocation("destroy", []core.Value{core.V(h2)}, core.Value{})},
+					{core.NewInvocation("get", []core.Value{core.V(h1)}, core.VInt(int64(9))), core.NewInvocation("get", []core.Value{core.V(h2)}, core.VInt(int64(9)))},
 				}
 				for _, p := range pairs {
 					want, err := core.Eval(spec.Cond(p[0].Method, p[1].Method), &core.PairEnv{Inv1: p[0], Inv2: p[1]})

@@ -217,9 +217,9 @@ func schemeAllows(t *testing.T, s *Scheme, keys map[string]KeyFunc, inv1, inv2 c
 // two invocations to proceed concurrently exactly when the specification
 // says they commute.
 func TestTheorem1SoundAndComplete(t *testing.T) {
-	partKeys := map[string]KeyFunc{"part": func(v core.Value) core.Value { return v.(int64) % 2 }}
+	partKeys := map[string]KeyFunc{"part": func(v core.Value) core.Value { return core.VInt(v.Int() % 2) }}
 	pureEnv := func(fn string, args []core.Value) (core.Value, error) {
-		return core.Norm(args[0]).(int64) % 2, nil
+		return core.VInt(args[0].Int() % 2), nil
 	}
 	partSpec, err := rwSetSpec().PartitionSpec("part")
 	if err != nil {
@@ -236,7 +236,7 @@ func TestTheorem1SoundAndComplete(t *testing.T) {
 		{"partition", partSpec, partKeys},
 	}
 	methods := []string{"add", "remove", "contains"}
-	rets := []core.Value{true, false}
+	rets := []core.Value{core.V(true), core.V(false)}
 	for _, tc := range specs {
 		full, err := Synthesize(tc.spec)
 		if err != nil {
@@ -249,8 +249,8 @@ func TestTheorem1SoundAndComplete(t *testing.T) {
 						for v2 := int64(0); v2 < 3; v2++ {
 							for _, r1 := range rets {
 								for _, r2 := range rets {
-									inv1 := core.NewInvocation(m1, []core.Value{v1}, r1)
-									inv2 := core.NewInvocation(m2, []core.Value{v2}, r2)
+									inv1 := core.NewInvocation(m1, []core.Value{core.V(v1)}, r1)
+									inv2 := core.NewInvocation(m2, []core.Value{core.V(v2)}, r2)
 									env := &core.PairEnv{Inv1: inv1, Inv2: inv2, S1: pureEnv, S2: pureEnv}
 									want, err := core.Eval(tc.spec.Cond(m1, m2), env)
 									if err != nil {
@@ -282,9 +282,9 @@ func TestTheorem1Accumulator(t *testing.T) {
 		for trial := 0; trial < 200; trial++ {
 			pick := func() core.Invocation {
 				if r.Intn(2) == 0 {
-					return core.NewInvocation("inc", []core.Value{int64(r.Intn(3))}, nil)
+					return core.NewInvocation("inc", []core.Value{core.V(int64(r.Intn(3)))}, core.Value{})
 				}
-				return core.NewInvocation("read", nil, int64(r.Intn(3)))
+				return core.NewInvocation("read", nil, core.VInt(int64(r.Intn(3))))
 			}
 			inv1, inv2 := pick(), pick()
 			want, err := core.Eval(spec.Cond(inv1.Method, inv2.Method), &core.PairEnv{Inv1: inv1, Inv2: inv2})

@@ -128,7 +128,7 @@ func TestManagerStripedConcurrentStress(t *testing.T) {
 				if write {
 					method = "upd"
 				}
-				err := m.PreAcquire(tx, method, []core.Value{k})
+				err := m.PreAcquire(tx, method, core.MakeVec(core.V(k)))
 				if err == nil {
 					// Claim the key and validate exclusion. The release
 					// hook below is registered after the manager's own,

@@ -50,7 +50,7 @@ func New() *Accumulator {
 
 // Inc adds x to the accumulator within tx.
 func (a *Accumulator) Inc(tx *engine.Tx, x int64) error {
-	if err := a.mgr.PreAcquire(tx, "inc", []core.Value{x}); err != nil {
+	if err := a.mgr.PreAcquire(tx, "inc", core.Args1(core.VInt(x))); err != nil {
 		return err
 	}
 	a.mu.Lock()
@@ -66,7 +66,7 @@ func (a *Accumulator) Inc(tx *engine.Tx, x int64) error {
 
 // Read returns the current total within tx.
 func (a *Accumulator) Read(tx *engine.Tx) (int64, error) {
-	if err := a.mgr.PreAcquire(tx, "read", nil); err != nil {
+	if err := a.mgr.PreAcquire(tx, "read", core.Vec{}); err != nil {
 		return 0, err
 	}
 	a.mu.Lock()

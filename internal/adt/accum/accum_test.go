@@ -17,25 +17,25 @@ func (m *model) Clone() core.Model { c := *m; return &c }
 func (m *model) Apply(method string, args []core.Value) (core.Value, error) {
 	switch method {
 	case "inc":
-		m.sum += core.Norm(args[0]).(int64)
-		return nil, nil
+		m.sum += args[0].Int()
+		return core.Value{}, nil
 	case "read":
-		return m.sum, nil
+		return core.VInt(m.sum), nil
 	default:
-		return nil, core.ErrUnknownFn(method)
+		return core.Value{}, core.ErrUnknownFn(method)
 	}
 }
 
 func (m *model) StateKey() string { return fmt.Sprint(m.sum) }
 
 func (m *model) StateFn(fn string, args []core.Value) (core.Value, error) {
-	return nil, core.ErrUnknownFn(fn)
+	return core.Value{}, core.ErrUnknownFn(fn)
 }
 
 func TestSpecSoundByBruteForce(t *testing.T) {
 	var calls []core.Call
 	for v := int64(0); v < 3; v++ {
-		calls = append(calls, core.Call{Method: "inc", Args: []core.Value{v}})
+		calls = append(calls, core.Call{Method: "inc", Args: []core.Value{core.V(v)}})
 	}
 	calls = append(calls, core.Call{Method: "read"})
 	bad, err := core.CheckCondSound(Spec(), []core.Model{&model{}, &model{sum: 5}}, calls)

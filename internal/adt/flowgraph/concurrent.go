@@ -49,7 +49,7 @@ func NewExclusive(net *Net) *Graph {
 // "part" point; the paper uses 32).
 func NewPartitioned(net *Net, nparts int) *Graph {
 	g, err := NewGraph(net, PartitionedSpec(), map[string]abslock.KeyFunc{
-		PartKey: func(v core.Value) core.Value { return v.(int64) % int64(nparts) },
+		PartKey: func(v core.Value) core.Value { return core.VInt(v.Int() % int64(nparts)) },
 	})
 	if err != nil {
 		panic(err)
@@ -63,7 +63,7 @@ func (g *Graph) Net() *Net { return g.net }
 
 // Neighbors returns a snapshot of u's residual arcs.
 func (g *Graph) Neighbors(tx *engine.Tx, u int64) ([]Arc, error) {
-	if err := g.mgr.PreAcquire(tx, "getNeighbors", []core.Value{u}); err != nil {
+	if err := g.mgr.PreAcquire(tx, "getNeighbors", core.Args1(core.VInt(u))); err != nil {
 		return nil, err
 	}
 	g.mu.Lock()
@@ -73,7 +73,7 @@ func (g *Graph) Neighbors(tx *engine.Tx, u int64) ([]Arc, error) {
 
 // Height reads u's label.
 func (g *Graph) Height(tx *engine.Tx, u int64) (int64, error) {
-	if err := g.mgr.PreAcquire(tx, "height", []core.Value{u}); err != nil {
+	if err := g.mgr.PreAcquire(tx, "height", core.Args1(core.VInt(u))); err != nil {
 		return 0, err
 	}
 	g.mu.Lock()
@@ -83,7 +83,7 @@ func (g *Graph) Height(tx *engine.Tx, u int64) (int64, error) {
 
 // Excess reads u's excess flow.
 func (g *Graph) Excess(tx *engine.Tx, u int64) (int64, error) {
-	if err := g.mgr.PreAcquire(tx, "excess", []core.Value{u}); err != nil {
+	if err := g.mgr.PreAcquire(tx, "excess", core.Args1(core.VInt(u))); err != nil {
 		return 0, err
 	}
 	g.mu.Lock()
@@ -93,7 +93,7 @@ func (g *Graph) Excess(tx *engine.Tx, u int64) (int64, error) {
 
 // Relabel sets u's label.
 func (g *Graph) Relabel(tx *engine.Tx, u, h int64) error {
-	if err := g.mgr.PreAcquire(tx, "relabel", []core.Value{u}); err != nil {
+	if err := g.mgr.PreAcquire(tx, "relabel", core.Args1(core.VInt(u))); err != nil {
 		return err
 	}
 	g.mu.Lock()
@@ -113,7 +113,7 @@ func (g *Graph) Push(tx *engine.Tx, u int64, ai int, amt int64) error {
 	g.mu.Lock()
 	v := int64(g.net.Arcs(u)[ai].To)
 	g.mu.Unlock()
-	if err := g.mgr.PreAcquire(tx, "pushFlow", []core.Value{u, v}); err != nil {
+	if err := g.mgr.PreAcquire(tx, "pushFlow", core.Args2(core.VInt(u), core.VInt(v))); err != nil {
 		return err
 	}
 	g.mu.Lock()

@@ -34,34 +34,34 @@ func (m *netModel) Clone() core.Model {
 }
 
 func (m *netModel) Apply(method string, args []core.Value) (core.Value, error) {
-	u := core.Norm(args[0]).(int64)
+	u := args[0].Int()
 	switch method {
 	case "getNeighbors":
 		var ids []int64
 		for _, a := range m.n.Arcs(u) {
 			ids = append(ids, int64(a.To))
 		}
-		return fmt.Sprint(ids), nil // encode the slice as a comparable value
+		return core.V(fmt.Sprint(ids)), nil // encode the slice as a comparable value
 	case "height":
-		return m.n.Height(u), nil
+		return core.VInt(m.n.Height(u)), nil
 	case "excess":
-		return m.n.Excess(u), nil
+		return core.VInt(m.n.Excess(u)), nil
 	case "relabel":
 		m.n.SetHeight(u, m.n.Height(u)+1)
-		return m.n.Height(u), nil
+		return core.VInt(m.n.Height(u)), nil
 	case "pushFlow":
-		v := core.Norm(args[1]).(int64)
+		v := args[1].Int()
 		for i, a := range m.n.Arcs(u) {
 			if int64(a.To) == v && a.Cap > 0 {
 				if err := m.n.Push(u, i, 1); err != nil {
-					return false, err
+					return core.VBool(false), err
 				}
-				return true, nil
+				return core.VBool(true), nil
 			}
 		}
-		return false, nil
+		return core.VBool(false), nil
 	default:
-		return nil, core.ErrUnknownFn(method)
+		return core.Value{}, core.ErrUnknownFn(method)
 	}
 }
 
@@ -76,7 +76,7 @@ func (m *netModel) StateKey() string {
 }
 
 func (m *netModel) StateFn(fn string, args []core.Value) (core.Value, error) {
-	return nil, core.ErrUnknownFn(fn)
+	return core.Value{}, core.ErrUnknownFn(fn)
 }
 
 // TestGraphSpecsSoundByBruteForce validates the RW and exclusive graph
@@ -87,24 +87,24 @@ func TestGraphSpecsSoundByBruteForce(t *testing.T) {
 	var calls []core.Call
 	for u := int64(0); u < 3; u++ {
 		calls = append(calls,
-			core.Call{Method: "getNeighbors", Args: []core.Value{u}},
-			core.Call{Method: "height", Args: []core.Value{u}},
-			core.Call{Method: "excess", Args: []core.Value{u}},
-			core.Call{Method: "relabel", Args: []core.Value{u}},
+			core.Call{Method: "getNeighbors", Args: []core.Value{core.V(u)}},
+			core.Call{Method: "height", Args: []core.Value{core.V(u)}},
+			core.Call{Method: "excess", Args: []core.Value{core.V(u)}},
+			core.Call{Method: "relabel", Args: []core.Value{core.V(u)}},
 		)
 		for v := int64(0); v < 3; v++ {
 			if u != v {
-				calls = append(calls, core.Call{Method: "pushFlow", Args: []core.Value{u, v}})
+				calls = append(calls, core.Call{Method: "pushFlow", Args: []core.Value{core.V(u), core.V(v)}})
 			}
 		}
 	}
 	// A couple of states: fresh, and after some flow has moved.
 	fresh := newNetModel()
 	warm := fresh.Clone().(*netModel)
-	if _, err := warm.Apply("pushFlow", []core.Value{int64(0), int64(1)}); err != nil {
+	if _, err := warm.Apply("pushFlow", []core.Value{core.V(int64(0)), core.V(int64(1))}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := warm.Apply("relabel", []core.Value{int64(1)}); err != nil {
+	if _, err := warm.Apply("relabel", []core.Value{core.V(int64(1))}); err != nil {
 		t.Fatal(err)
 	}
 	states := []core.Model{fresh, warm}
@@ -133,8 +133,8 @@ func TestPartitionedSpecSound(t *testing.T) {
 	var calls []core.Call
 	for u := int64(0); u < 3; u++ {
 		calls = append(calls,
-			core.Call{Method: "height", Args: []core.Value{u}},
-			core.Call{Method: "relabel", Args: []core.Value{u}},
+			core.Call{Method: "height", Args: []core.Value{core.V(u)}},
+			core.Call{Method: "relabel", Args: []core.Value{core.V(u)}},
 		)
 	}
 	bad, err := core.CheckCondSound(spec, []core.Model{part}, calls)
@@ -154,7 +154,7 @@ func (m *partModel) Clone() core.Model {
 
 func (m *partModel) StateFn(fn string, args []core.Value) (core.Value, error) {
 	if fn == PartKey {
-		return core.Norm(args[0]).(int64) % 2, nil
+		return core.VInt(args[0].Int() % 2), nil
 	}
-	return nil, core.ErrUnknownFn(fn)
+	return core.Value{}, core.ErrUnknownFn(fn)
 }

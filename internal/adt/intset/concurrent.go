@@ -86,7 +86,7 @@ func NewLiberalLocked(rep Rep) *LockedSet {
 // NewPartitionLocked guards rep with locks on nparts partitions (§4.2).
 func NewPartitionLocked(rep Rep, nparts int) *LockedSet {
 	s, err := NewLocked(rep, PartitionedSpec(), map[string]abslock.KeyFunc{
-		PartitionKey: func(v core.Value) core.Value { return Partition(v.(int64), nparts) },
+		PartitionKey: func(v core.Value) core.Value { return core.VInt(Partition(v.Int(), nparts)) },
 	})
 	if err != nil {
 		panic(err)
@@ -95,7 +95,7 @@ func NewPartitionLocked(rep Rep, nparts int) *LockedSet {
 }
 
 func (s *LockedSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
-	ret, err := s.mgr.Invoke(tx, method, []core.Value{x}, func() core.Value {
+	ret, err := s.mgr.Invoke(tx, method, core.Args1(core.VInt(x)), func() core.Value {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		switch method {
@@ -106,9 +106,9 @@ func (s *LockedSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) 
 					s.rep.Remove(x)
 					s.mu.Unlock()
 				})
-				return true
+				return core.VBool(true)
 			}
-			return false
+			return core.VBool(false)
 		case "remove":
 			if s.rep.Remove(x) {
 				tx.OnUndo(func() {
@@ -116,17 +116,17 @@ func (s *LockedSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) 
 					s.rep.Add(x)
 					s.mu.Unlock()
 				})
-				return true
+				return core.VBool(true)
 			}
-			return false
+			return core.VBool(false)
 		default:
-			return s.rep.Contains(x)
+			return core.VBool(s.rep.Contains(x))
 		}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 // Add inserts x under the lock discipline; it reports whether the set
@@ -167,26 +167,26 @@ func NewGatekept(rep Rep) *GatekeptSet {
 }
 
 func (s *GatekeptSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
-	ret, err := s.g.Invoke(tx, method, []core.Value{x}, func() gatekeeper.Effect {
+	ret, err := s.g.Invoke(tx, method, core.Args1(core.VInt(x)), func() gatekeeper.Effect {
 		switch method {
 		case "add":
 			if s.rep.Add(x) {
-				return gatekeeper.Effect{Ret: true, Undo: func() { s.rep.Remove(x) }}
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() { s.rep.Remove(x) }}
 			}
-			return gatekeeper.Effect{Ret: false}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
 		case "remove":
 			if s.rep.Remove(x) {
-				return gatekeeper.Effect{Ret: true, Undo: func() { s.rep.Add(x) }}
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() { s.rep.Add(x) }}
 			}
-			return gatekeeper.Effect{Ret: false}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
 		default:
-			return gatekeeper.Effect{Ret: s.rep.Contains(x)}
+			return gatekeeper.Effect{Ret: core.VBool(s.rep.Contains(x))}
 		}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 // Add inserts x under gatekeeping; it reports whether the set changed.

@@ -30,16 +30,16 @@ func (m *model) Clone() core.Model {
 }
 
 func (m *model) Apply(method string, args []core.Value) (core.Value, error) {
-	x := core.Norm(args[0]).(int64)
+	x := args[0].Int()
 	switch method {
 	case "add":
-		return m.rep.Add(x), nil
+		return core.VBool(m.rep.Add(x)), nil
 	case "remove":
-		return m.rep.Remove(x), nil
+		return core.VBool(m.rep.Remove(x)), nil
 	case "contains":
-		return m.rep.Contains(x), nil
+		return core.VBool(m.rep.Contains(x)), nil
 	default:
-		return nil, fmt.Errorf("unknown method %s", method)
+		return core.Value{}, fmt.Errorf("unknown method %s", method)
 	}
 }
 
@@ -47,16 +47,16 @@ func (m *model) StateKey() string { return fmt.Sprint(m.rep.Elems()) }
 
 func (m *model) StateFn(fn string, args []core.Value) (core.Value, error) {
 	if fn == PartitionKey {
-		return Partition(core.Norm(args[0]).(int64), 2), nil
+		return core.VInt(Partition(args[0].Int(), 2)), nil
 	}
-	return nil, fmt.Errorf("unknown fn %s", fn)
+	return core.Value{}, fmt.Errorf("unknown fn %s", fn)
 }
 
 func allCalls(vals ...int64) []core.Call {
 	var out []core.Call
 	for _, m := range []string{"add", "remove", "contains"} {
 		for _, v := range vals {
-			out = append(out, core.Call{Method: m, Args: []core.Value{v}})
+			out = append(out, core.Call{Method: m, Args: []core.Value{core.V(v)}})
 		}
 	}
 	return out

@@ -168,41 +168,41 @@ func (k *GKTree) Len() int {
 
 // Add inserts p under gatekeeping.
 func (k *GKTree) Add(tx *engine.Tx, p Point) (bool, error) {
-	ret, err := k.g.Invoke(tx, "add", []core.Value{p}, func() gatekeeper.Effect {
+	ret, err := k.g.Invoke(tx, "add", core.Args1(core.V(p)), func() gatekeeper.Effect {
 		if k.t.Add(p) {
-			return gatekeeper.Effect{Ret: true, Undo: func() { k.t.Remove(p) }}
+			return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() { k.t.Remove(p) }}
 		}
-		return gatekeeper.Effect{Ret: false}
+		return gatekeeper.Effect{Ret: core.VBool(false)}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 // Remove deletes p under gatekeeping.
 func (k *GKTree) Remove(tx *engine.Tx, p Point) (bool, error) {
-	ret, err := k.g.Invoke(tx, "remove", []core.Value{p}, func() gatekeeper.Effect {
+	ret, err := k.g.Invoke(tx, "remove", core.Args1(core.V(p)), func() gatekeeper.Effect {
 		if k.t.Remove(p) {
-			return gatekeeper.Effect{Ret: true, Undo: func() { k.t.Add(p) }}
+			return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() { k.t.Add(p) }}
 		}
-		return gatekeeper.Effect{Ret: false}
+		return gatekeeper.Effect{Ret: core.VBool(false)}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 // Nearest queries under gatekeeping.
 func (k *GKTree) Nearest(tx *engine.Tx, p Point) (Point, error) {
-	ret, err := k.g.Invoke(tx, "nearest", []core.Value{p}, func() gatekeeper.Effect {
-		return gatekeeper.Effect{Ret: k.t.Nearest(p)}
+	ret, err := k.g.Invoke(tx, "nearest", core.Args1(core.V(p)), func() gatekeeper.Effect {
+		return gatekeeper.Effect{Ret: core.V(k.t.Nearest(p))}
 	})
 	if err != nil {
 		return None, err
 	}
-	return ret.(Point), nil
+	return ret.Unbox().(Point), nil
 }
 
 // GateStats returns the forward gatekeeper's work counters.
@@ -210,13 +210,13 @@ func (k *GKTree) GateStats() gatekeeper.Stats { return k.g.Stats() }
 
 // Contains queries membership under gatekeeping.
 func (k *GKTree) Contains(tx *engine.Tx, p Point) (bool, error) {
-	ret, err := k.g.Invoke(tx, "contains", []core.Value{p}, func() gatekeeper.Effect {
-		return gatekeeper.Effect{Ret: k.t.Contains(p)}
+	ret, err := k.g.Invoke(tx, "contains", core.Args1(core.V(p)), func() gatekeeper.Effect {
+		return gatekeeper.Effect{Ret: core.VBool(k.t.Contains(p))}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 var (
@@ -269,7 +269,7 @@ func (l *LockedTree) Len() int {
 
 // Add inserts p under the lock discipline.
 func (l *LockedTree) Add(tx *engine.Tx, p Point) (bool, error) {
-	if err := l.mgr.PreAcquire(tx, "add", []core.Value{p}); err != nil {
+	if err := l.mgr.PreAcquire(tx, "add", core.Args1(core.V(p))); err != nil {
 		return false, err
 	}
 	l.mu.Lock()
@@ -287,7 +287,7 @@ func (l *LockedTree) Add(tx *engine.Tx, p Point) (bool, error) {
 
 // Remove deletes p under the lock discipline.
 func (l *LockedTree) Remove(tx *engine.Tx, p Point) (bool, error) {
-	if err := l.mgr.PreAcquire(tx, "remove", []core.Value{p}); err != nil {
+	if err := l.mgr.PreAcquire(tx, "remove", core.Args1(core.V(p))); err != nil {
 		return false, err
 	}
 	l.mu.Lock()
@@ -306,7 +306,7 @@ func (l *LockedTree) Remove(tx *engine.Tx, p Point) (bool, error) {
 // Nearest queries under the lock discipline (serialized against all
 // mutators by the synthesized ds lock).
 func (l *LockedTree) Nearest(tx *engine.Tx, p Point) (Point, error) {
-	if err := l.mgr.PreAcquire(tx, "nearest", []core.Value{p}); err != nil {
+	if err := l.mgr.PreAcquire(tx, "nearest", core.Args1(core.V(p))); err != nil {
 		return None, err
 	}
 	l.mu.Lock()
@@ -316,7 +316,7 @@ func (l *LockedTree) Nearest(tx *engine.Tx, p Point) (Point, error) {
 
 // Contains queries membership under the lock discipline.
 func (l *LockedTree) Contains(tx *engine.Tx, p Point) (bool, error) {
-	if err := l.mgr.PreAcquire(tx, "contains", []core.Value{p}); err != nil {
+	if err := l.mgr.PreAcquire(tx, "contains", core.Args1(core.V(p))); err != nil {
 		return false, err
 	}
 	l.mu.Lock()

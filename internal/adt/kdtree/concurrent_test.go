@@ -22,38 +22,38 @@ func (m *treeModel) Clone() core.Model {
 }
 
 func (m *treeModel) Apply(method string, args []core.Value) (core.Value, error) {
-	p, ok := args[0].(Point)
+	p, ok := args[0].Unbox().(Point)
 	if !ok {
-		return nil, fmt.Errorf("bad arg %v", args[0])
+		return core.Value{}, fmt.Errorf("bad arg %v", args[0])
 	}
 	switch method {
 	case "add":
 		for _, q := range m.pts {
 			if q == p {
-				return false, nil
+				return core.VBool(false), nil
 			}
 		}
 		m.pts = append(m.pts, p)
-		return true, nil
+		return core.VBool(true), nil
 	case "remove":
 		for i, q := range m.pts {
 			if q == p {
 				m.pts = append(m.pts[:i], m.pts[i+1:]...)
-				return true, nil
+				return core.VBool(true), nil
 			}
 		}
-		return false, nil
+		return core.VBool(false), nil
 	case "nearest":
-		return bruteNearest(m.pts, p), nil
+		return core.V(bruteNearest(m.pts, p)), nil
 	case "contains":
 		for _, q := range m.pts {
 			if q == p {
-				return true, nil
+				return core.VBool(true), nil
 			}
 		}
-		return false, nil
+		return core.VBool(false), nil
 	default:
-		return nil, fmt.Errorf("unknown method %s", method)
+		return core.Value{}, fmt.Errorf("unknown method %s", method)
 	}
 }
 
@@ -86,7 +86,7 @@ func TestSpecSoundByBruteForce(t *testing.T) {
 	var calls []core.Call
 	for _, method := range []string{"add", "remove", "nearest", "contains"} {
 		for _, p := range pts {
-			calls = append(calls, core.Call{Method: method, Args: []core.Value{p}})
+			calls = append(calls, core.Call{Method: method, Args: []core.Value{core.V(p)}})
 		}
 	}
 	bad, err := core.CheckCondSound(spec, states, calls)

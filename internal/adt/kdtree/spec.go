@@ -78,12 +78,12 @@ func Spec() *core.Spec {
 // gatekeepers guarding kd-trees.
 func Resolve(fn string, args []core.Value) (core.Value, error) {
 	if fn != DistFn {
-		return nil, core.ErrUnknownFn(fn)
+		return core.Value{}, core.ErrUnknownFn(fn)
 	}
-	a, aok := args[0].(Point)
-	b, bok := args[1].(Point)
+	a, aok := args[0].Unbox().(Point)
+	b, bok := args[1].Unbox().(Point)
 	if !aok || !bok {
-		return nil, core.ErrBadArgs(fn)
+		return core.Value{}, core.ErrBadArgs(fn)
 	}
-	return DistSq(a, b), nil
+	return core.VFloat(DistSq(a, b)), nil
 }

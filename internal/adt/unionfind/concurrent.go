@@ -138,7 +138,7 @@ func (u *Generic) Forest() *Forest { return u.f }
 // Union merges under the generic general gatekeeper.
 func (u *Generic) Union(tx *engine.Tx, a, b int64) (bool, error) {
 	var merged bool
-	_, err := u.g.Invoke(tx, "union", []core.Value{a, b}, func() gatekeeper.GEffect {
+	_, err := u.g.Invoke(tx, "union", core.Args2(core.VInt(a), core.VInt(b)), func() gatekeeper.GEffect {
 		var ws []Write
 		merged, ws = u.f.UnionW(a, b)
 		if len(ws) == 0 {
@@ -157,9 +157,9 @@ func (u *Generic) Union(tx *engine.Tx, a, b int64) (bool, error) {
 
 // Find returns a's representative under the generic general gatekeeper.
 func (u *Generic) Find(tx *engine.Tx, a int64) (int64, error) {
-	ret, err := u.g.Invoke(tx, "find", []core.Value{a}, func() gatekeeper.GEffect {
+	ret, err := u.g.Invoke(tx, "find", core.Args1(core.VInt(a)), func() gatekeeper.GEffect {
 		r, ws := u.f.FindW(a)
-		eff := gatekeeper.GEffect{Ret: r}
+		eff := gatekeeper.GEffect{Ret: core.VInt(r)}
 		if len(ws) > 0 {
 			eff.Undo = func() { u.f.Revert(ws) }
 			eff.Redo = func() { u.f.Apply(ws) }
@@ -169,7 +169,7 @@ func (u *Generic) Find(tx *engine.Tx, a int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return ret.(int64), nil
+	return ret.Int(), nil
 }
 
 var (

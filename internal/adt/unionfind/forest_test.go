@@ -170,12 +170,12 @@ func (m *ufModel) Clone() core.Model {
 func (m *ufModel) Apply(method string, args []core.Value) (core.Value, error) {
 	switch method {
 	case "find":
-		return m.f.Find(core.Norm(args[0]).(int64)), nil
+		return core.VInt(m.f.Find(args[0].Int())), nil
 	case "union":
-		m.f.Union(core.Norm(args[0]).(int64), core.Norm(args[1]).(int64))
-		return nil, nil
+		m.f.Union(args[0].Int(), args[1].Int())
+		return core.Value{}, nil
 	default:
-		return nil, core.ErrUnknownFn(method)
+		return core.Value{}, core.ErrUnknownFn(method)
 	}
 }
 
@@ -206,10 +206,10 @@ func TestSpecSoundByBruteForce(t *testing.T) {
 	}
 	var calls []core.Call
 	for a := int64(0); a < 5; a++ {
-		calls = append(calls, core.Call{Method: "find", Args: []core.Value{a}})
+		calls = append(calls, core.Call{Method: "find", Args: []core.Value{core.V(a)}})
 		for b := int64(0); b < 5; b++ {
 			if a != b {
-				calls = append(calls, core.Call{Method: "union", Args: []core.Value{a, b}})
+				calls = append(calls, core.Call{Method: "union", Args: []core.Value{core.V(a), core.V(b)}})
 			}
 		}
 	}

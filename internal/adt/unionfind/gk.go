@@ -36,6 +36,11 @@ type GK struct {
 	findReps  map[int64]map[*engine.Tx]int // rep -> txs holding it via find
 	loserReps map[int64]map[*engine.Tx]int // loser -> txs holding it via union
 	perTx     map[*engine.Tx]*gkTxState
+
+	// free lists: recycled per-tx states and rep buckets, so the
+	// steady-state invoke/commit cycle allocates nothing.
+	freeStates  []*gkTxState
+	freeBuckets []map[*engine.Tx]int
 }
 
 type txWrite struct {
@@ -155,7 +160,7 @@ func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
 	g.record(tx).losers = append(g.record(tx).losers, l)
 	bucket := g.loserReps[l]
 	if bucket == nil {
-		bucket = map[*engine.Tx]int{}
+		bucket = g.getBucket()
 		g.loserReps[l] = bucket
 	}
 	bucket[tx]++
@@ -186,7 +191,7 @@ func (g *GK) Find(tx *engine.Tx, a int64) (int64, error) {
 	g.record(tx).finds = append(g.record(tx).finds, ra)
 	bucket := g.findReps[ra]
 	if bucket == nil {
-		bucket = map[*engine.Tx]int{}
+		bucket = g.getBucket()
 		g.findReps[ra] = bucket
 	}
 	bucket[tx]++
@@ -201,21 +206,45 @@ func (g *GK) journalWrites(tx *engine.Tx, ws []Write) {
 	g.byTx[tx] += len(ws)
 }
 
+// getBucket returns an empty rep bucket, recycled when possible.
+func (g *GK) getBucket() map[*engine.Tx]int {
+	if n := len(g.freeBuckets); n > 0 {
+		b := g.freeBuckets[n-1]
+		g.freeBuckets[n-1] = nil
+		g.freeBuckets = g.freeBuckets[:n-1]
+		return b
+	}
+	return map[*engine.Tx]int{}
+}
+
+func (g *GK) putBucket(b map[*engine.Tx]int) {
+	clear(b)
+	g.freeBuckets = append(g.freeBuckets, b)
+}
+
 // record returns tx's log state, installing the lifecycle hooks on first
-// use.
+// use. The GK registers itself as the transaction's Undoer and Releaser,
+// and recycles per-tx states, so hook installation allocates nothing in
+// steady state.
 func (g *GK) record(tx *engine.Tx) *gkTxState {
 	st, ok := g.perTx[tx]
 	if !ok {
-		st = &gkTxState{}
+		if n := len(g.freeStates); n > 0 {
+			st = g.freeStates[n-1]
+			g.freeStates[n-1] = nil
+			g.freeStates = g.freeStates[:n-1]
+		} else {
+			st = &gkTxState{}
+		}
 		g.perTx[tx] = st
-		tx.OnUndo(func() { g.abortTx(tx) })
-		tx.OnRelease(func() { g.endTx(tx) })
+		tx.OnUndoer(g)
+		tx.OnReleaser(g)
 	}
 	return st
 }
 
-// abortTx exactly undoes tx's journaled writes (newest first).
-func (g *GK) abortTx(tx *engine.Tx) {
+// UndoTx exactly undoes tx's journaled writes (newest first).
+func (g *GK) UndoTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for i := len(g.journal) - 1; i >= 0; i-- {
@@ -227,8 +256,8 @@ func (g *GK) abortTx(tx *engine.Tx) {
 	g.byTx[tx] = 0
 }
 
-// endTx drops tx's journal entries and log records.
-func (g *GK) endTx(tx *engine.Tx) {
+// ReleaseTx drops tx's journal entries and log records.
+func (g *GK) ReleaseTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	kept := g.journal[:0]
@@ -247,6 +276,7 @@ func (g *GK) endTx(tx *engine.Tx) {
 				}
 				if len(b) == 0 {
 					delete(g.findReps, r)
+					g.putBucket(b)
 				}
 			}
 		}
@@ -257,9 +287,15 @@ func (g *GK) endTx(tx *engine.Tx) {
 				}
 				if len(b) == 0 {
 					delete(g.loserReps, l)
+					g.putBucket(b)
 				}
 			}
 		}
+	}
+	if st := g.perTx[tx]; st != nil {
+		st.finds = st.finds[:0]
+		st.losers = st.losers[:0]
+		g.freeStates = append(g.freeStates, st)
 	}
 	delete(g.perTx, tx)
 }

@@ -44,27 +44,27 @@ func Resolver(f *Forest) core.StateFn {
 	return func(fn string, args []core.Value) (core.Value, error) {
 		switch fn {
 		case "rep":
-			x, ok := core.Norm(args[0]).(int64)
+			x, ok := args[0].AsInt()
 			if !ok {
-				return nil, core.ErrBadArgs(fn)
+				return core.Value{}, core.ErrBadArgs(fn)
 			}
-			return f.FindNoCompress(x), nil
+			return core.VInt(f.FindNoCompress(x)), nil
 		case "rank":
 			// Static priority: an element's rank is its id.
-			x, ok := core.Norm(args[0]).(int64)
+			x, ok := args[0].AsInt()
 			if !ok {
-				return nil, core.ErrBadArgs(fn)
+				return core.Value{}, core.ErrBadArgs(fn)
 			}
-			return x, nil
+			return core.VInt(x), nil
 		case "loser":
-			a, aok := core.Norm(args[0]).(int64)
-			b, bok := core.Norm(args[1]).(int64)
+			a, aok := args[0].AsInt()
+			b, bok := args[1].AsInt()
 			if !aok || !bok {
-				return nil, core.ErrBadArgs(fn)
+				return core.Value{}, core.ErrBadArgs(fn)
 			}
-			return f.Loser(a, b), nil
+			return core.VInt(f.Loser(a, b)), nil
 		default:
-			return nil, core.ErrUnknownFn(fn)
+			return core.Value{}, core.ErrUnknownFn(fn)
 		}
 	}
 }

@@ -72,7 +72,7 @@ func newCompEdges(n int, edges []workload.Edge) *compEdges {
 
 // get returns component r's candidate list under a read lock on r.
 func (c *compEdges) get(tx *engine.Tx, r int64) ([]workload.Edge, error) {
-	if err := c.mgr.PreAcquire(tx, "get", []core.Value{r}); err != nil {
+	if err := c.mgr.PreAcquire(tx, "get", core.Args1(core.VInt(r))); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
@@ -83,7 +83,7 @@ func (c *compEdges) get(tx *engine.Tx, r int64) ([]workload.Edge, error) {
 // merge replaces the winner's list and deletes the loser's, registering
 // an exact undo with tx. Both components are exclusively locked.
 func (c *compEdges) merge(tx *engine.Tx, winner, loser int64, merged []workload.Edge) error {
-	if err := c.mgr.PreAcquire(tx, "merge", []core.Value{winner, loser}); err != nil {
+	if err := c.mgr.PreAcquire(tx, "merge", core.Args2(core.VInt(winner), core.VInt(loser))); err != nil {
 		return err
 	}
 	c.mu.Lock()

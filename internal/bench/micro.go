@@ -1,0 +1,220 @@
+// Detector micro-benchmarks: the raw cost of one guarded operation under
+// each conflict detector, plus window sweeps for the disequality index.
+// These are plain func(*testing.B) so two harnesses can share them:
+// bench_test.go wraps them as ordinary `go test -bench` benchmarks
+// (stable names, so EXPERIMENTS.md numbers stay comparable across PRs),
+// and `commlat bench` runs them via testing.Benchmark to emit
+// BENCH_detectors.json for the allocation-regression gate.
+//
+// All benchmarks drive transactions through the engine.GetTx/PutTx pool:
+// with the tagged value representation and pooled detector records, the
+// indexed fast paths run at 0 allocs/op in steady state, and the CI gate
+// (scripts/check_alloc_budget.go against BENCH_budget.json) keeps them
+// there.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"commlat/internal/adt/intset"
+	"commlat/internal/adt/unionfind"
+	"commlat/internal/core"
+	"commlat/internal/engine"
+	"commlat/internal/gatekeeper"
+)
+
+// Micro is one named detector micro-benchmark.
+type Micro struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Micros lists every detector micro-benchmark in a stable order. Names
+// match the Benchmark* functions in bench_test.go minus the "Benchmark"
+// prefix (sub-benchmarks join with '/').
+func Micros() []Micro {
+	ms := []Micro{
+		{"DetectorAbslockRW", DetectorAbslockRW},
+		{"DetectorGlobalLock", DetectorGlobalLock},
+		{"DetectorLiberalLock", DetectorLiberalLock},
+		{"DetectorForwardGatekeeper", DetectorForwardGatekeeper},
+		{"DetectorGeneralGatekeeper", DetectorGeneralGatekeeper},
+		{"DetectorUnionFindGeneric", DetectorUnionFindGeneric},
+		{"DetectorUnionFindML", DetectorUnionFindML},
+		{"CondEval", CondEval},
+	}
+	for _, w := range []int{64, 512, 4096} {
+		w := w
+		ms = append(ms, Micro{
+			Name: fmt.Sprintf("ForwardIndexed/indexed/window=%d", w),
+			F:    func(b *testing.B) { ForwardWindow(b, false, w) },
+		})
+	}
+	for _, w := range []int{64, 512, 4096} {
+		w := w
+		ms = append(ms, Micro{
+			Name: fmt.Sprintf("GeneralIndexed/set/indexed/window=%d", w),
+			F:    func(b *testing.B) { GeneralSetWindow(b, false, w) },
+		})
+	}
+	return ms
+}
+
+// benchSetAdd measures one guarded Add per iteration on keys cycling
+// through a small window, transaction per op via the pool.
+func benchSetAdd(b *testing.B, s intset.Set) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := engine.GetTx()
+		if _, err := s.Add(tx, int64(i%1024)); err != nil {
+			b.Fatal(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// DetectorAbslockRW: synthesized read/write abstract locks (figure 3's
+// spec) guarding a hash set.
+func DetectorAbslockRW(b *testing.B) {
+	benchSetAdd(b, intset.NewRWLocked(intset.NewHashRep()))
+}
+
+// DetectorGlobalLock: the ⊥ spec — one global exclusive lock.
+func DetectorGlobalLock(b *testing.B) {
+	benchSetAdd(b, intset.NewGlobalLock(intset.NewHashRep()))
+}
+
+// DetectorLiberalLock: the footnote-6 guarded-mode scheme implementing
+// figure 2 with locks.
+func DetectorLiberalLock(b *testing.B) {
+	benchSetAdd(b, intset.NewLiberalLocked(intset.NewHashRep()))
+}
+
+// DetectorForwardGatekeeper: the forward gatekeeper running figure 2's
+// precise set spec.
+func DetectorForwardGatekeeper(b *testing.B) {
+	benchSetAdd(b, intset.NewGatekept(intset.NewHashRep()))
+}
+
+func benchUnionFind(b *testing.B, uf unionfind.Sets) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := engine.GetTx()
+		if _, err := uf.Union(tx, int64(i%(1<<15)), int64(i%(1<<15))+1); err != nil {
+			b.Fatal(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// DetectorGeneralGatekeeper: the hand-built general gatekeeper for
+// union-find (undo/redo journal, rollback checks).
+func DetectorGeneralGatekeeper(b *testing.B) {
+	benchUnionFind(b, unionfind.NewGK(1<<16))
+}
+
+// DetectorUnionFindGeneric: the spec-interpreting generic gatekeeper —
+// ablation against the concrete one above (same conditions, different
+// machinery).
+func DetectorUnionFindGeneric(b *testing.B) {
+	benchUnionFind(b, unionfind.NewGeneric(1<<16))
+}
+
+// DetectorUnionFindML: union-find under abstract locks.
+func DetectorUnionFindML(b *testing.B) {
+	benchUnionFind(b, unionfind.NewML(1<<16))
+}
+
+// CondEval: one interpreted evaluation of figure 2's add/contains
+// condition.
+func CondEval(b *testing.B) {
+	cond := intset.PreciseSpec().Cond("add", "contains")
+	env := &core.PairEnv{
+		Inv1: core.NewInvocation("add", []core.Value{core.V(int64(1))}, core.VBool(true)),
+		Inv2: core.NewInvocation("contains", []core.Value{core.V(int64(2))}, core.VBool(false)),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Eval(cond, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ForwardWindow measures one forward-gatekept add against `window`
+// active adds on distinct keys. Indexed probes miss in O(1); with the
+// index disabled every active entry is scanned.
+func ForwardWindow(b *testing.B, disable bool, window int) {
+	b.Helper()
+	g, err := gatekeeper.NewForwardConfig(intset.PreciseSpec(), nil,
+		gatekeeper.Config{DisableIndex: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := g.Invoke(holder, "add", core.Args1(core.VInt(-i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.GetTx()
+		k := base | int64(n&8191)
+		if _, err := g.Invoke(tx, "add", core.Args1(core.VInt(k)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// GeneralSetWindow is ForwardWindow's shape under the general
+// gatekeeper: same spec, but every check replays through the undo/redo
+// journal machinery.
+func GeneralSetWindow(b *testing.B, disable bool, window int) {
+	b.Helper()
+	g, err := gatekeeper.NewGeneralConfig(intset.PreciseSpec(), nil,
+		gatekeeper.Config{DisableIndex: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := g.Invoke(holder, "add", core.Args1(core.VInt(-i)), func() gatekeeper.GEffect {
+			return gatekeeper.GEffect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.GetTx()
+		k := base | int64(n&8191)
+		if _, err := g.Invoke(tx, "add", core.Args1(core.VInt(k)), func() gatekeeper.GEffect {
+			return gatekeeper.GEffect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}

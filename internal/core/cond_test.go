@@ -39,10 +39,10 @@ func randCond(r *rand.Rand, depth int) Cond {
 
 // randEnv yields an environment binding all vocabulary slots to small ints.
 func randEnv(r *rand.Rand) *PairEnv {
-	v := func() Value { return int64(r.Intn(3)) }
+	v := func() Value { return VInt(int64(r.Intn(3))) }
 	return &PairEnv{
-		Inv1: Invocation{Method: "m1", Args: []Value{v()}, Ret: v()},
-		Inv2: Invocation{Method: "m2", Args: []Value{v()}, Ret: v()},
+		Inv1: Invocation{Method: "m1", Args: Args1(v()), Ret: v()},
+		Inv2: Invocation{Method: "m2", Args: Args1(v()), Ret: v()},
 	}
 }
 

@@ -3,20 +3,26 @@ package core
 import "fmt"
 
 // Invocation is a recorded method invocation: the method name, its
-// (normalized) arguments and its return value. For void methods Ret is nil.
+// arguments and its return value. Arguments live in a flat inline Vec —
+// recording an invocation of ≤ MaxInlineArgs arguments allocates
+// nothing. For void methods Ret is the nil Value.
 type Invocation struct {
 	Method string
-	Args   []Value
+	Args   Vec
 	Ret    Value
 }
 
-// NewInvocation builds an Invocation with normalized argument values.
+// NewInvocation builds an Invocation from an argument slice. Values are
+// assumed already normalized (the tagged constructors normalize at
+// construction time).
 func NewInvocation(method string, args []Value, ret Value) Invocation {
-	nargs := make([]Value, len(args))
-	for i, a := range args {
-		nargs[i] = Norm(a)
-	}
-	return Invocation{Method: method, Args: nargs, Ret: Norm(ret)}
+	return Invocation{Method: method, Args: MakeVec(args...), Ret: ret}
+}
+
+// MakeInvocation builds an Invocation from a flat Vec without touching
+// any slice.
+func MakeInvocation(method string, args Vec, ret Value) Invocation {
+	return Invocation{Method: method, Args: args, Ret: ret}
 }
 
 // StateFn resolves a named state function (such as rep, rank, loser, dist
@@ -38,10 +44,10 @@ func EvalTerm(t Term, env *PairEnv) (Value, error) {
 	switch x := t.(type) {
 	case ArgTerm:
 		inv := env.inv(x.Side)
-		if x.Index < 0 || x.Index >= len(inv.Args) {
-			return nil, fmt.Errorf("core: %s has no argument %d", inv.Method, x.Index)
+		if x.Index < 0 || x.Index >= inv.Args.Len() {
+			return Value{}, fmt.Errorf("core: %s has no argument %d", inv.Method, x.Index)
 		}
-		return inv.Args[x.Index], nil
+		return inv.Args.At(x.Index), nil
 	case RetTerm:
 		return env.inv(x.Side).Ret, nil
 	case ConstTerm:
@@ -52,33 +58,29 @@ func EvalTerm(t Term, env *PairEnv) (Value, error) {
 			resolver = env.S2
 		}
 		if resolver == nil {
-			return nil, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, x.Fn)
+			return Value{}, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, x.Fn)
 		}
 		args := make([]Value, len(x.Args))
 		for i, a := range x.Args {
 			v, err := EvalTerm(a, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			args[i] = v
 		}
-		v, err := resolver(x.Fn, args)
-		if err != nil {
-			return nil, err
-		}
-		return Norm(v), nil
+		return resolver(x.Fn, args)
 	case ArithTerm:
 		l, err := EvalTerm(x.L, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		r, err := EvalTerm(x.R, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return arith(x.Op, l, r)
 	default:
-		return nil, fmt.Errorf("core: unknown term %T", t)
+		return Value{}, fmt.Errorf("core: unknown term %T", t)
 	}
 }
 

@@ -33,8 +33,8 @@ func ExampleEval() {
 		core.Eq(core.Ret1(), core.Lit(false)),
 	)
 	env := &core.PairEnv{
-		Inv1: core.NewInvocation("add", []core.Value{7}, true),      // mutated
-		Inv2: core.NewInvocation("contains", []core.Value{7}, true), // same key
+		Inv1: core.NewInvocation("add", []core.Value{core.VInt(7)}, core.VBool(true)),      // mutated
+		Inv2: core.NewInvocation("contains", []core.Value{core.VInt(7)}, core.VBool(true)), // same key
 	}
 	commutes, _ := core.Eval(cond, env)
 	fmt.Println("commute:", commutes)

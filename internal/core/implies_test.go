@@ -65,8 +65,8 @@ func TestImpliesSoundOnRandomConds(t *testing.T) {
 				for v2 := int64(0); v2 < 3; v2++ {
 					for r2 := int64(0); r2 < 3; r2++ {
 						env := &PairEnv{
-							Inv1: Invocation{Args: []Value{v1}, Ret: r1},
-							Inv2: Invocation{Args: []Value{v2}, Ret: r2},
+							Inv1: Invocation{Args: Args1(VInt(v1)), Ret: VInt(r1)},
+							Inv2: Invocation{Args: Args1(VInt(v2)), Ret: VInt(r2)},
 						}
 						av, err1 := Eval(a, env)
 						bv, err2 := Eval(b, env)

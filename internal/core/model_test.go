@@ -30,27 +30,27 @@ func (m *setModel) Clone() Model {
 }
 
 func (m *setModel) Apply(method string, args []Value) (Value, error) {
-	x, ok := Norm(args[0]).(int64)
+	x, ok := args[0].AsInt()
 	if !ok {
-		return nil, fmt.Errorf("setModel: bad arg %v", args[0])
+		return Value{}, fmt.Errorf("setModel: bad arg %v", args[0])
 	}
 	switch method {
 	case "add":
 		if m.elems[x] {
-			return false, nil
+			return VBool(false), nil
 		}
 		m.elems[x] = true
-		return true, nil
+		return VBool(true), nil
 	case "remove":
 		if !m.elems[x] {
-			return false, nil
+			return VBool(false), nil
 		}
 		delete(m.elems, x)
-		return true, nil
+		return VBool(true), nil
 	case "contains":
-		return m.elems[x], nil
+		return VBool(m.elems[x]), nil
 	default:
-		return nil, fmt.Errorf("setModel: unknown method %s", method)
+		return Value{}, fmt.Errorf("setModel: unknown method %s", method)
 	}
 }
 
@@ -66,9 +66,9 @@ func (m *setModel) StateKey() string {
 func (m *setModel) StateFn(fn string, args []Value) (Value, error) {
 	switch fn {
 	case "part":
-		return Norm(args[0]).(int64) % 2, nil
+		return VInt(args[0].Int() % 2), nil
 	default:
-		return nil, fmt.Errorf("setModel: unknown fn %s", fn)
+		return Value{}, fmt.Errorf("setModel: unknown fn %s", fn)
 	}
 }
 
@@ -80,7 +80,7 @@ func setCalls() []Call {
 	var calls []Call
 	for _, m := range []string{"add", "remove", "contains"} {
 		for v := int64(1); v <= 3; v++ {
-			calls = append(calls, Call{Method: m, Args: []Value{v}})
+			calls = append(calls, Call{Method: m, Args: []Value{VInt(v)}})
 		}
 	}
 	return calls
@@ -137,17 +137,17 @@ func TestBogusSpecCaught(t *testing.T) {
 func TestCommutesDirect(t *testing.T) {
 	m := newSetModel(1)
 	// contains(1) and contains(2) always commute.
-	ok, err := Commutes(m, Call{"contains", []Value{int64(1)}}, Call{"contains", []Value{int64(2)}})
+	ok, err := Commutes(m, Call{"contains", []Value{VInt(1)}}, Call{"contains", []Value{VInt(2)}})
 	if err != nil || !ok {
 		t.Errorf("contains/contains should commute: %v %v", ok, err)
 	}
 	// add(2) and contains(2) do not commute on a set without 2.
-	ok, err = Commutes(m, Call{"add", []Value{int64(2)}}, Call{"contains", []Value{int64(2)}})
+	ok, err = Commutes(m, Call{"add", []Value{VInt(2)}}, Call{"contains", []Value{VInt(2)}})
 	if err != nil || ok {
 		t.Errorf("add(2)/contains(2) should not commute: %v %v", ok, err)
 	}
 	// add(1) and contains(1) DO commute when 1 is already present.
-	ok, err = Commutes(m, Call{"add", []Value{int64(1)}}, Call{"contains", []Value{int64(1)}})
+	ok, err = Commutes(m, Call{"add", []Value{VInt(1)}}, Call{"contains", []Value{VInt(1)}})
 	if err != nil || !ok {
 		t.Errorf("non-mutating add should commute with contains: %v %v", ok, err)
 	}
@@ -168,7 +168,7 @@ func TestSerializableRandomHistories(t *testing.T) {
 		for i := range hist {
 			hist[i] = Step{
 				Tx:   r.Intn(2),
-				Call: Call{Method: methods[r.Intn(3)], Args: []Value{int64(1 + r.Intn(3))}},
+				Call: Call{Method: methods[r.Intn(3)], Args: []Value{VInt(int64(1 + r.Intn(3)))}},
 			}
 		}
 		initial := newSetModel()
@@ -200,8 +200,8 @@ func TestSerializableRandomHistories(t *testing.T) {
 func TestSerializableDetectsConflict(t *testing.T) {
 	spec := preciseSetSpec()
 	hist := []Step{
-		{Tx: 0, Call: Call{"add", []Value{int64(1)}}},      // mutates
-		{Tx: 1, Call: Call{"contains", []Value{int64(1)}}}, // observes the mutation
+		{Tx: 0, Call: Call{"add", []Value{VInt(1)}}},      // mutates
+		{Tx: 1, Call: Call{"contains", []Value{VInt(1)}}}, // observes the mutation
 	}
 	rep, err := CheckSerializable(newSetModel(), spec, hist)
 	if err != nil {
@@ -213,14 +213,14 @@ func TestSerializableDetectsConflict(t *testing.T) {
 }
 
 func TestNewInvocationNormalizes(t *testing.T) {
-	inv := NewInvocation("m", []Value{int32(4), float32(0.5)}, uint8(9))
-	if inv.Args[0] != int64(4) || inv.Args[1] != 0.5 || inv.Ret != int64(9) {
+	inv := NewInvocation("m", []Value{V(int32(4)), V(float32(0.5))}, V(uint8(9)))
+	if inv.Args.At(0) != VInt(4) || inv.Args.At(1) != VFloat(0.5) || inv.Ret != VInt(9) {
 		t.Errorf("NewInvocation did not normalize: %+v", inv)
 	}
 }
 
 func TestEvalTermErrors(t *testing.T) {
-	env := &PairEnv{Inv1: Invocation{Method: "m", Args: nil}, Inv2: Invocation{}}
+	env := &PairEnv{Inv1: Invocation{Method: "m"}, Inv2: Invocation{}}
 	if _, err := EvalTerm(Arg1(0), env); err == nil {
 		t.Error("out-of-range argument should error")
 	}
@@ -234,21 +234,21 @@ func TestEvalTermErrors(t *testing.T) {
 
 func TestEvalFnRouting(t *testing.T) {
 	env := &PairEnv{
-		Inv1: NewInvocation("m1", []Value{3}, nil),
-		Inv2: NewInvocation("m2", []Value{4}, nil),
-		S1:   func(fn string, args []Value) (Value, error) { return args[0].(int64) + 100, nil },
-		S2:   func(fn string, args []Value) (Value, error) { return args[0].(int64) + 200, nil },
+		Inv1: NewInvocation("m1", []Value{VInt(3)}, Value{}),
+		Inv2: NewInvocation("m2", []Value{VInt(4)}, Value{}),
+		S1:   func(fn string, args []Value) (Value, error) { return VInt(args[0].Int() + 100), nil },
+		S2:   func(fn string, args []Value) (Value, error) { return VInt(args[0].Int() + 200), nil },
 	}
 	v, err := EvalTerm(Fn1("f", Arg1(0)), env)
-	if err != nil || v != int64(103) {
+	if err != nil || v != VInt(103) {
 		t.Errorf("Fn1 routing: %v %v", v, err)
 	}
 	v, err = EvalTerm(Fn2("f", Arg2(0)), env)
-	if err != nil || v != int64(204) {
+	if err != nil || v != VInt(204) {
 		t.Errorf("Fn2 routing: %v %v", v, err)
 	}
 	v, err = EvalTerm(Add(Fn1("f", Arg1(0)), Lit(1)), env)
-	if err != nil || v != int64(104) {
+	if err != nil || v != VInt(104) {
 		t.Errorf("arith over fn: %v %v", v, err)
 	}
 }

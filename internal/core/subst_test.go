@@ -6,14 +6,14 @@ func TestSubstTermsReplacesLogged(t *testing.T) {
 	// dist(s1; v1, r1) replaced by a logged constant.
 	ft := Fn1("dist", Arg1(0), Ret1())
 	c := Gt(Fn2("dist", Arg1(0), Arg2(0)), ft)
-	sub := map[string]Value{TermKey(ft): float64(4)}
+	sub := map[string]Value{TermKey(ft): VFloat(4)}
 	got := SubstTerms(c, sub)
 	env := &PairEnv{
-		Inv1: NewInvocation("nearest", []Value{int64(0)}, int64(9)),
-		Inv2: NewInvocation("add", []Value{int64(5)}, true),
+		Inv1: NewInvocation("nearest", []Value{VInt(0)}, VInt(9)),
+		Inv2: NewInvocation("add", []Value{VInt(5)}, VBool(true)),
 		S2: func(fn string, args []Value) (Value, error) {
 			// Live dist: |a-b| squared-ish; here simply 25.
-			return float64(25), nil
+			return VFloat(25), nil
 		},
 	}
 	ok, err := Eval(got, env)
@@ -34,12 +34,12 @@ func TestSubstTermsNested(t *testing.T) {
 	outer := Fn2("f", inner)
 	c := Eq(outer, Ret2())
 	// Substituting the inner term leaves the outer function live.
-	got := SubstTerms(c, map[string]Value{TermKey(inner): int64(7)})
+	got := SubstTerms(c, map[string]Value{TermKey(inner): VInt(7)})
 	env := &PairEnv{
-		Inv1: NewInvocation("m", []Value{int64(1)}, nil),
-		Inv2: NewInvocation("m", nil, int64(107)),
+		Inv1: NewInvocation("m", []Value{VInt(1)}, Value{}),
+		Inv2: NewInvocation("m", nil, VInt(107)),
 		S2: func(fn string, args []Value) (Value, error) {
-			return args[0].(int64) + 100, nil
+			return VInt(args[0].Int() + 100), nil
 		},
 	}
 	ok, err := Eval(got, env)
@@ -61,10 +61,10 @@ func TestSubstTermsEmptyNoop(t *testing.T) {
 func TestSubstTermsArith(t *testing.T) {
 	ft := Fn1("f", Arg1(0))
 	c := Lt(Add(ft, Lit(1)), Lit(10))
-	got := SubstTerms(c, map[string]Value{TermKey(ft): int64(3)})
+	got := SubstTerms(c, map[string]Value{TermKey(ft): VInt(3)})
 	env := &PairEnv{
-		Inv1: NewInvocation("m", []Value{int64(0)}, nil),
-		Inv2: NewInvocation("m", nil, nil),
+		Inv1: NewInvocation("m", []Value{VInt(0)}, Value{}),
+		Inv2: NewInvocation("m", nil, Value{}),
 	}
 	ok, err := Eval(got, env)
 	if err != nil || !ok {
@@ -75,10 +75,10 @@ func TestSubstTermsArith(t *testing.T) {
 func TestSubstTermsThroughConnectives(t *testing.T) {
 	ft := Fn1("f", Arg1(0))
 	c := Not(Or(Eq(ft, Lit(1)), And(Ne(ft, Lit(2)), Eq(ft, Lit(3)))))
-	got := SubstTerms(c, map[string]Value{TermKey(ft): int64(5)})
+	got := SubstTerms(c, map[string]Value{TermKey(ft): VInt(5)})
 	env := &PairEnv{
-		Inv1: NewInvocation("m", []Value{int64(0)}, nil),
-		Inv2: NewInvocation("m", nil, nil),
+		Inv1: NewInvocation("m", []Value{VInt(0)}, Value{}),
+		Inv2: NewInvocation("m", nil, Value{}),
 	}
 	ok, err := Eval(got, env)
 	if err != nil {

@@ -111,10 +111,10 @@ func (ArithTerm) isTerm() {}
 func (t ArgTerm) String() string { return fmt.Sprintf("v%s[%d]", t.Side, t.Index) }
 func (t RetTerm) String() string { return fmt.Sprintf("r%s", t.Side) }
 func (t ConstTerm) String() string {
-	if s, ok := t.V.(string); ok {
+	if s, ok := t.V.AsString(); ok {
 		return fmt.Sprintf("%q", s)
 	}
-	return fmt.Sprintf("%v", t.V)
+	return t.V.String()
 }
 func (t FnTerm) String() string {
 	args := make([]string, len(t.Args))
@@ -139,8 +139,10 @@ func Ret1() Term { return RetTerm{Side: First} }
 // Ret2 is the return value of the second invocation.
 func Ret2() Term { return RetTerm{Side: Second} }
 
-// Lit returns a constant term with the (normalized) value v.
-func Lit(v Value) Term { return ConstTerm{V: Norm(v)} }
+// Lit returns a constant term with the (normalized) value v. It accepts
+// any Go value for spec-construction convenience; the tagged Value
+// constructors normalize it once, here, at spec-build time.
+func Lit(v any) Term { return ConstTerm{V: V(v)} }
 
 // Fn1 applies fn in the abstract state of the first invocation.
 func Fn1(fn string, args ...Term) Term { return FnTerm{Fn: fn, State: First, Args: args} }

@@ -39,6 +39,41 @@ const (
 	Aborted
 )
 
+// Undoer is a detector (or data structure) that can roll back its state
+// for an aborting transaction. Registering an Undoer with OnUndoer
+// instead of a closure with OnUndo avoids a heap allocation per
+// registration: the hook stores the interface pair (pointer receiver,
+// no capture) inline.
+type Undoer interface {
+	UndoTx(tx *Tx)
+}
+
+// Releaser is a detector that must be notified when a transaction ends
+// (by commit or abort): lock release, gatekeeper log cleanup, and so on.
+// The allocation-free counterpart of OnRelease closures.
+type Releaser interface {
+	ReleaseTx(tx *Tx)
+}
+
+// txHook is one registered undo or release action: either a closure or
+// an interface target. Exactly one of fn/u/r is set.
+type txHook struct {
+	fn func()
+	u  Undoer
+	r  Releaser
+}
+
+func (h *txHook) run(tx *Tx) {
+	switch {
+	case h.fn != nil:
+		h.fn()
+	case h.u != nil:
+		h.u.UndoTx(tx)
+	case h.r != nil:
+		h.r.ReleaseTx(tx)
+	}
+}
+
 // Tx is a speculative transaction. A transaction accumulates undo actions
 // (inverse methods, per §3.3.2) as it mutates shared structures and
 // release hooks from the conflict detectors guarding those structures.
@@ -49,14 +84,35 @@ const (
 // speculative iteration owns its transaction.
 type Tx struct {
 	id      uint64
-	undo    []func()
-	release []func()
+	undo    []txHook
+	release []txHook
 	status  Status
 }
 
 // NewTx creates a fresh active transaction.
 func NewTx() *Tx {
 	return &Tx{id: txIDs.Add(1)}
+}
+
+// GetTx returns an active transaction from the shared pool. Pair it with
+// PutTx after Commit or Abort; a steady-state caller then allocates
+// nothing per transaction (the hook slices keep their capacity). The
+// executor uses this pool internally; benchmarks and tests that drive
+// transactions by hand should too.
+func GetTx() *Tx {
+	tx := txPool.Get().(*Tx)
+	tx.id = txIDs.Add(1)
+	tx.status = Active
+	return tx
+}
+
+// PutTx recycles a finished transaction into the shared pool. The
+// transaction must not be Active and must not be used after the call.
+func PutTx(tx *Tx) {
+	if tx.status == Active {
+		panic("engine: PutTx on an active transaction")
+	}
+	txPool.Put(tx)
 }
 
 // ID returns the transaction's unique identifier.
@@ -70,15 +126,29 @@ func (tx *Tx) Status() Status { return tx.status }
 // successful mutating invocation.
 func (tx *Tx) OnUndo(f func()) {
 	tx.mustBeActive()
-	tx.undo = append(tx.undo, f)
+	tx.undo = append(tx.undo, txHook{fn: f})
+}
+
+// OnUndoer registers u.UndoTx(tx) as an undo action without allocating
+// a closure.
+func (tx *Tx) OnUndoer(u Undoer) {
+	tx.mustBeActive()
+	tx.undo = append(tx.undo, txHook{u: u})
 }
 
 // OnRelease registers a hook that runs when the transaction ends, whether
-// by commit or abort: lock release, gatekeeper log cleanup, and so on.
-// Release hooks run after undo actions during an abort.
+// by commit or abort. Release hooks run after undo actions during an
+// abort.
 func (tx *Tx) OnRelease(f func()) {
 	tx.mustBeActive()
-	tx.release = append(tx.release, f)
+	tx.release = append(tx.release, txHook{fn: f})
+}
+
+// OnReleaser registers r.ReleaseTx(tx) as a release hook without
+// allocating a closure.
+func (tx *Tx) OnReleaser(r Releaser) {
+	tx.mustBeActive()
+	tx.release = append(tx.release, txHook{r: r})
 }
 
 // Commit ends the transaction successfully, running release hooks.
@@ -86,7 +156,7 @@ func (tx *Tx) Commit() {
 	tx.mustBeActive()
 	tx.status = Committed
 	tx.runRelease()
-	clearFuncs(&tx.undo)
+	clearHooks(&tx.undo)
 }
 
 // Abort rolls the transaction back: undo actions run newest-first, then
@@ -95,27 +165,28 @@ func (tx *Tx) Abort() {
 	tx.mustBeActive()
 	tx.status = Aborted
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
+		tx.undo[i].run(tx)
 	}
-	clearFuncs(&tx.undo)
+	clearHooks(&tx.undo)
 	tx.runRelease()
 }
 
 func (tx *Tx) runRelease() {
 	for i := len(tx.release) - 1; i >= 0; i-- {
-		tx.release[i]()
+		tx.release[i].run(tx)
 	}
-	clearFuncs(&tx.release)
+	clearHooks(&tx.release)
 }
 
-// clearFuncs empties a hook slice but keeps its capacity, so pooled
-// transactions reuse their storage across iterations.
-func clearFuncs(fs *[]func()) {
-	s := *fs
+// clearHooks empties a hook slice but keeps its capacity, zeroing every
+// entry so pooled transactions retain no closure or detector references
+// across iterations.
+func clearHooks(hs *[]txHook) {
+	s := *hs
 	for i := range s {
-		s[i] = nil
+		s[i] = txHook{}
 	}
-	*fs = s[:0]
+	*hs = s[:0]
 }
 
 func (tx *Tx) mustBeActive() {

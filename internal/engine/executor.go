@@ -118,31 +118,26 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 }
 
 // txPool recycles transaction shells between iterations; Commit and
-// Abort clear the undo/release hooks but keep their slice capacity, so a
-// steady-state worker allocates nothing per transaction.
+// Abort clear the undo/release hooks (zeroing every entry, so no
+// detector or closure reference survives into the pool) but keep their
+// slice capacity, so a steady-state worker allocates nothing per
+// transaction. GetTx/PutTx expose the pool to benchmarks and tests.
 var txPool = sync.Pool{New: func() any { return new(Tx) }}
-
-func newPooledTx() *Tx {
-	tx := txPool.Get().(*Tx)
-	tx.id = txIDs.Add(1)
-	tx.status = Active
-	return tx
-}
 
 func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
 	opts Options, committed, aborts *atomic.Uint64) error {
 	backoff := time.Microsecond
 	for attempt := 0; ; attempt++ {
-		tx := newPooledTx()
+		tx := GetTx()
 		err := body(tx, item, wl)
 		if err == nil {
 			tx.Commit()
-			txPool.Put(tx)
+			PutTx(tx)
 			committed.Add(1)
 			return nil
 		}
 		tx.Abort()
-		txPool.Put(tx)
+		PutTx(tx)
 		if !IsConflict(err) {
 			return err
 		}

@@ -12,15 +12,19 @@ import (
 // (core.Eval) on every check, allocating a fresh substitution map each
 // time; a compiled checker instead binds logged and pre-evaluated values
 // by precomputed slot index and evaluates with zero allocations on the
-// hot path.
+// hot path: operands are tagged core.Values read straight out of flat
+// slots, never boxed.
+//
+// Compiled checkers are NOT safe for concurrent use: function-application
+// nodes reuse a scratch argument buffer allocated at compile time. Every
+// gatekeeper runs its checkers under its own mutex, which serializes them.
 
-// unsetValue marks a slot whose value could not be captured (the general
+// unset marks a slot whose value could not be captured (the general
 // gatekeeper skips terms that fail to evaluate under rollback, exactly
 // as the seed skipped their substitution); the compiled reader then
-// falls back to live structural evaluation.
-type unsetValue struct{}
-
-var unset core.Value = unsetValue{}
+// falls back to live structural evaluation. The sentinel kind compares
+// unequal to every value, so it can never be confused with a logged one.
+var unset = core.Unset()
 
 // checkCtx is the per-check evaluation context. log1 holds the first
 // (active) invocation's logged slot values; pre2 holds the
@@ -118,7 +122,7 @@ func compileTerm(t core.Term, bind map[string]slotBinding, res core.StateFn) ter
 				s = ctx.pre2
 			}
 			if slot < len(s) {
-				if v := s[slot]; v != unset {
+				if v := s[slot]; !v.IsUnset() {
 					return v, nil
 				}
 			}
@@ -134,17 +138,17 @@ func compileTermStructural(t core.Term, bind map[string]slotBinding, res core.St
 		idx := x.Index
 		if x.Side == core.First {
 			return func(ctx *checkCtx) (core.Value, error) {
-				if idx < 0 || idx >= len(ctx.env.Inv1.Args) {
-					return nil, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv1.Method, idx)
+				if idx < 0 || idx >= ctx.env.Inv1.Args.Len() {
+					return core.Value{}, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv1.Method, idx)
 				}
-				return ctx.env.Inv1.Args[idx], nil
+				return ctx.env.Inv1.Args.At(idx), nil
 			}
 		}
 		return func(ctx *checkCtx) (core.Value, error) {
-			if idx < 0 || idx >= len(ctx.env.Inv2.Args) {
-				return nil, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv2.Method, idx)
+			if idx < 0 || idx >= ctx.env.Inv2.Args.Len() {
+				return core.Value{}, fmt.Errorf("core: %s has no argument %d", ctx.env.Inv2.Method, idx)
 			}
-			return ctx.env.Inv2.Args[idx], nil
+			return ctx.env.Inv2.Args.At(idx), nil
 		}
 	case core.RetTerm:
 		if x.Side == core.First {
@@ -160,23 +164,24 @@ func compileTermStructural(t core.Term, bind map[string]slotBinding, res core.St
 		for i, a := range x.Args {
 			argFns[i] = compileTerm(a, bind, res)
 		}
+		// Scratch argument buffer, allocated once at compile time and
+		// reused on every call. Safe because the owning gatekeeper
+		// serializes checks under its mutex (see package note above);
+		// nested FnTerms each compile to their own closure with their
+		// own buffer, so recursion cannot clobber it.
+		scratch := make([]core.Value, len(argFns))
 		return func(ctx *checkCtx) (core.Value, error) {
 			if res == nil {
-				return nil, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, fn)
+				return core.Value{}, fmt.Errorf("core: no resolver for state s%s (function %s)", x.State, fn)
 			}
-			args := make([]core.Value, len(argFns))
 			for i, af := range argFns {
 				v, err := af(ctx)
 				if err != nil {
-					return nil, err
+					return core.Value{}, err
 				}
-				args[i] = v
+				scratch[i] = v
 			}
-			v, err := res(fn, args)
-			if err != nil {
-				return nil, err
-			}
-			return core.Norm(v), nil
+			return res(fn, scratch)
 		}
 	case core.ArithTerm:
 		lt := compileTerm(x.L, bind, res)
@@ -185,11 +190,11 @@ func compileTermStructural(t core.Term, bind map[string]slotBinding, res core.St
 		return func(ctx *checkCtx) (core.Value, error) {
 			l, err := lt(ctx)
 			if err != nil {
-				return nil, err
+				return core.Value{}, err
 			}
 			r, err := rt(ctx)
 			if err != nil {
-				return nil, err
+				return core.Value{}, err
 			}
 			return core.Arith(op, l, r)
 		}

@@ -48,6 +48,24 @@ type entry struct {
 	keys []core.Value
 	gen  uint64
 	pos  int
+
+	// g and undo let the entry itself serve as the transaction's undo
+	// hook (engine.Undoer): registering the pooled entry pointer
+	// allocates nothing, where wrapping eff.Undo in a fresh closure
+	// allocated per mutating invocation.
+	g    *Forward
+	undo func()
+}
+
+// UndoTx rolls back the entry's effect under the gatekeeper mutex.
+// Undo hooks run before release hooks during an abort, so the entry is
+// still live (not yet recycled) when this fires.
+func (e *entry) UndoTx(*engine.Tx) {
+	e.g.mu.Lock()
+	if e.undo != nil {
+		e.undo()
+	}
+	e.g.mu.Unlock()
 }
 
 var entryPool = sync.Pool{New: func() any { return new(entry) }}
@@ -126,6 +144,7 @@ type Forward struct {
 	active   map[string][]*entry // active invocations, indexed by method
 	nActive  int
 	byTx     map[*engine.Tx][]*entry // each tx's own active entries, for O(own) release
+	txLists  [][]*entry              // recycled byTx slices
 	stats    Stats
 	probeGen uint64
 
@@ -135,6 +154,11 @@ type Forward struct {
 	pre2buf   []core.Value
 	deferred  []pairCheck
 	probeKeys []core.Value
+	// ctx is the compiled-checker evaluation context. A local checkCtx
+	// escapes (its address flows into checker function values), so the
+	// hot paths reuse this one field instead; it retains at most the
+	// latest invocation between calls.
+	ctx checkCtx
 }
 
 // Config tunes optional gatekeeper machinery.
@@ -309,7 +333,7 @@ func (g *Forward) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[
 				return s
 			}
 		}
-		s := &keySlot[*entry]{term: x, extract: extract, index: map[core.Value][]*entry{}}
+		s := &keySlot[*entry]{term: x, extract: extract, index: map[core.Value]*bucket[*entry]{}}
 		g.slots[m1] = append(g.slots[m1], s)
 		return s
 	}
@@ -324,14 +348,19 @@ func cond2(p *fwdPlan) core.Cond { return p.cond }
 // engine.IsConflict. On success the effect's undo action (if any) is
 // registered with tx so that a later abort rolls it back, and the
 // invocation joins the active log until tx ends.
-func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() Effect) (core.Value, error) {
+//
+// Arguments travel in a flat core.Vec passed by value — build it with
+// core.Args1/Args2/... at the call site; no argument slice is ever
+// allocated.
+func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func() Effect) (core.Value, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.stats.Invocations++
 
 	e := entryPool.Get().(*entry)
 	e.tx = tx
-	e.inv = core.NewInvocation(method, args, nil)
+	e.g = g
+	e.inv = core.Invocation{Method: method, Args: args}
 	if n := g.logLen[method]; cap(e.log) >= n {
 		e.log = e.log[:n]
 	} else {
@@ -344,7 +373,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		v, err := core.EvalTerm(lf.ft, &preEnv)
 		if err != nil {
 			g.putEntry(e)
-			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
+			return core.Value{}, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
 		e.log[lf.slot] = v
 		g.stats.LogEntries++
@@ -372,13 +401,13 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 		if err != nil {
 			g.putEntry(e)
-			return nil, err
+			return core.Value{}, err
 		}
 	}
 
 	// Execute.
 	eff := exec()
-	e.inv.Ret = core.Norm(eff.Ret)
+	e.inv.Ret = eff.Ret
 	undoNow := func() {
 		if eff.Undo != nil {
 			eff.Undo()
@@ -392,7 +421,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		if err != nil {
 			undoNow()
 			g.putEntry(e)
-			return nil, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
+			return core.Value{}, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
 		e.log[lf.slot] = v
 		g.stats.LogEntries++
@@ -411,7 +440,8 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 
 	// Check commutativity against every queued active invocation with
 	// the pair's compiled checker.
-	ctx := checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
+	g.ctx = checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
+	ctx := &g.ctx
 	for i := range g.checks {
 		p := &g.checks[i]
 		if p.immediate {
@@ -437,7 +467,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		ctx.env.Inv1 = p.e.inv
 		ctx.log1 = p.e.log
 		ctx.pre2 = g.pre2buf[p.off : p.off+p.n]
-		ok, err := p.plan.check(&ctx)
+		ok, err := p.plan.check(ctx)
 		if err != nil {
 			undoNow()
 			g.putEntry(e)
@@ -455,22 +485,28 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	}
 
 	// Success: record as active (and in the key index), wire
-	// transaction hooks.
+	// transaction hooks. Both hooks register interface pairs (the
+	// gatekeeper / the pooled entry), not closures, so nothing escapes.
 	g.indexEntry(method, e)
 	e.pos = len(g.active[method])
 	g.active[method] = append(g.active[method], e)
 	g.nActive++
-	if g.byTx[tx] == nil {
-		tx.OnRelease(func() { g.release(tx) })
+	if es, seen := g.byTx[tx]; !seen {
+		tx.OnReleaser(g)
+		if n := len(g.txLists); n > 0 {
+			l := g.txLists[n-1]
+			g.txLists[n-1] = nil
+			g.txLists = g.txLists[:n-1]
+			g.byTx[tx] = append(l, e)
+		} else {
+			g.byTx[tx] = []*entry{e}
+		}
+	} else {
+		g.byTx[tx] = append(es, e)
 	}
-	g.byTx[tx] = append(g.byTx[tx], e)
 	if eff.Undo != nil {
-		undo := eff.Undo
-		tx.OnUndo(func() {
-			g.mu.Lock()
-			undo()
-			g.mu.Unlock()
-		})
+		e.undo = eff.Undo
+		tx.OnUndoer(e)
 	}
 	return eff.Ret, nil
 }
@@ -524,10 +560,10 @@ func (g *Forward) scanPair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pair
 // NaN ≠ NaN holds under ValueEq — so they still run the checker.
 func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.PairEnv) error {
 	g.stats.Probes++
-	pctx := checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
+	g.ctx = checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
 	keys := g.probeKeys[:0]
 	for _, pk := range pc.plan.keys {
-		v, err := pk.probe(&pctx)
+		v, err := pk.probe(&g.ctx)
 		if err != nil {
 			g.probeKeys = keys
 			return g.scanPair(tx, e, pc, env)
@@ -544,9 +580,9 @@ func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pai
 	gen := g.probeGen
 	for i, pk := range pc.plan.keys {
 		k := keys[i]
-		_, isNaN := k.(core.NaNKey)
+		isNaN := k.Kind() == core.KindNaN
 		imm := pc.plan.pureDiseq && !isNaN
-		for _, ae := range pk.slot.index[k] {
+		for _, ae := range pk.slot.probe(k) {
 			if ae.tx == tx || ae.gen == gen {
 				continue
 			}
@@ -578,14 +614,14 @@ func (g *Forward) indexEntry(method string, e *entry) {
 	if len(slots) == 0 {
 		return
 	}
-	ctx := checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}, log1: e.log}
+	g.ctx = checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}, log1: e.log}
 	if cap(e.keys) >= len(slots) {
 		e.keys = e.keys[:len(slots)]
 	} else {
 		e.keys = make([]core.Value, len(slots))
 	}
 	for i, s := range slots {
-		v, err := s.extract(&ctx)
+		v, err := s.extract(&g.ctx)
 		if err == nil {
 			if k, kok := core.MapKey(v); kok {
 				e.keys[i] = k
@@ -609,15 +645,21 @@ func (g *Forward) dropFromIndex(method string, e *entry) {
 }
 
 // putEntry recycles an entry whose invocation did not join the active
-// log (or just left it).
+// log (or just left it). Every Value field is zeroed so a recycled
+// record retains no user-type references through the pool (heap-growth
+// fix: a ref-kind argument or log entry would otherwise pin arbitrary
+// user object graphs for the lifetime of the pooled entry).
 func (g *Forward) putEntry(e *entry) {
 	e.tx = nil
+	e.g = nil
+	e.undo = nil
+	e.inv.Args.Release()
 	e.inv = core.Invocation{}
 	for i := range e.log {
-		e.log[i] = nil
+		e.log[i] = core.Value{}
 	}
 	for i := range e.keys {
-		e.keys[i] = nil
+		e.keys[i] = core.Value{}
 	}
 	e.keys = e.keys[:0]
 	e.gen = 0
@@ -637,19 +679,26 @@ func (g *Forward) removeActive(m string, e *entry) {
 	g.active[m] = es[:last]
 }
 
-// release drops all of tx's active invocations and their logs (§3.3.1
-// step 4). Installed automatically as a transaction release hook. It
-// walks only the transaction's own entries, so ending a transaction
-// costs O(its invocations) regardless of the active window size.
-func (g *Forward) release(tx *engine.Tx) {
+// ReleaseTx drops all of tx's active invocations and their logs (§3.3.1
+// step 4). Installed automatically as a transaction release hook
+// (engine.Releaser, so registration allocates nothing). It walks only
+// the transaction's own entries, so ending a transaction costs O(its
+// invocations) regardless of the active window size; the per-tx entry
+// list is recycled for the next transaction.
+func (g *Forward) ReleaseTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, e := range g.byTx[tx] {
+	es := g.byTx[tx]
+	for i, e := range es {
 		m := e.inv.Method
 		g.removeActive(m, e)
 		g.dropFromIndex(m, e)
 		g.nActive--
 		g.putEntry(e)
+		es[i] = nil
+	}
+	if es != nil {
+		g.txLists = append(g.txLists, es[:0])
 	}
 	delete(g.byTx, tx)
 }

@@ -65,9 +65,9 @@ func newFKV(t *testing.T, init map[int64]int64) *fkv {
 	}
 	g, err := NewForward(kvOnlineSpec(), func(fn string, args []core.Value) (core.Value, error) {
 		if fn != "lookup" {
-			return nil, core.ErrUnknownFn(fn)
+			return core.Value{}, core.ErrUnknownFn(fn)
 		}
-		return kv.m[args[0].(int64)], nil
+		return core.VInt(kv.m[args[0].Int()]), nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,28 +77,28 @@ func newFKV(t *testing.T, init map[int64]int64) *fkv {
 }
 
 func (kv *fkv) put(tx *engine.Tx, k, v int64) (int64, error) {
-	ret, err := kv.g.Invoke(tx, "put", []core.Value{k, v}, func() Effect {
+	ret, err := kv.g.Invoke(tx, "put", core.MakeVec(core.V(k), core.V(v)), func() Effect {
 		old := kv.m[k]
 		if old == v {
-			return Effect{Ret: old}
+			return Effect{Ret: core.VInt(old)}
 		}
 		kv.m[k] = v
-		return Effect{Ret: old, Undo: func() { kv.m[k] = old }}
+		return Effect{Ret: core.VInt(old), Undo: func() { kv.m[k] = old }}
 	})
 	if err != nil {
 		return 0, err
 	}
-	return ret.(int64), nil
+	return ret.Int(), nil
 }
 
 func (kv *fkv) get(tx *engine.Tx, k int64) (int64, error) {
-	ret, err := kv.g.Invoke(tx, "get", []core.Value{k}, func() Effect {
-		return Effect{Ret: kv.m[k]}
+	ret, err := kv.g.Invoke(tx, "get", core.MakeVec(core.V(k)), func() Effect {
+		return Effect{Ret: core.VInt(kv.m[k])}
 	})
 	if err != nil {
 		return 0, err
 	}
-	return ret.(int64), nil
+	return ret.Int(), nil
 }
 
 // kvModel brute-forces the spec (both orientations).
@@ -115,16 +115,16 @@ func newKVModel(init map[int64]int64) *kvModel {
 func (m *kvModel) Clone() core.Model { return newKVModel(m.m) }
 
 func (m *kvModel) Apply(method string, args []core.Value) (core.Value, error) {
-	k := core.Norm(args[0]).(int64)
+	k := args[0].Int()
 	switch method {
 	case "put":
 		old := m.m[k]
-		m.m[k] = core.Norm(args[1]).(int64)
-		return old, nil
+		m.m[k] = args[1].Int()
+		return core.VInt(old), nil
 	case "get":
-		return m.m[k], nil
+		return core.VInt(m.m[k]), nil
 	default:
-		return nil, core.ErrUnknownFn(method)
+		return core.Value{}, core.ErrUnknownFn(method)
 	}
 }
 
@@ -138,9 +138,9 @@ func (m *kvModel) StateKey() string {
 
 func (m *kvModel) StateFn(fn string, args []core.Value) (core.Value, error) {
 	if fn != "lookup" {
-		return nil, core.ErrUnknownFn(fn)
+		return core.Value{}, core.ErrUnknownFn(fn)
 	}
-	return m.m[core.Norm(args[0]).(int64)], nil
+	return core.VInt(m.m[args[0].Int()]), nil
 }
 
 func TestKVOnlineSpecSound(t *testing.T) {
@@ -155,9 +155,9 @@ func TestKVOnlineSpecSound(t *testing.T) {
 	}
 	var calls []core.Call
 	for k := int64(1); k <= 2; k++ {
-		calls = append(calls, core.Call{Method: "get", Args: []core.Value{k}})
+		calls = append(calls, core.Call{Method: "get", Args: []core.Value{core.V(k)}})
 		for v := int64(0); v <= 2; v++ {
-			calls = append(calls, core.Call{Method: "put", Args: []core.Value{k, v}})
+			calls = append(calls, core.Call{Method: "put", Args: []core.Value{core.V(k), core.V(v)}})
 		}
 	}
 	bad, err := core.CheckCondSound(spec, states, calls)
@@ -231,9 +231,9 @@ func TestForwardKVMatchesOracle(t *testing.T) {
 	spec := kvOnlineSpec()
 	var calls []core.Call
 	for k := int64(1); k <= 2; k++ {
-		calls = append(calls, core.Call{Method: "get", Args: []core.Value{k}})
+		calls = append(calls, core.Call{Method: "get", Args: []core.Value{core.V(k)}})
 		for v := int64(0); v <= 2; v++ {
-			calls = append(calls, core.Call{Method: "put", Args: []core.Value{k, v}})
+			calls = append(calls, core.Call{Method: "put", Args: []core.Value{core.V(k), core.V(v)}})
 		}
 	}
 	states := []map[int64]int64{{}, {1: 1}, {1: 2, 2: 1}}
@@ -270,10 +270,10 @@ func TestForwardKVMatchesOracle(t *testing.T) {
 				tx1, tx2 := engine.NewTx(), engine.NewTx()
 				invoke := func(tx *engine.Tx, c core.Call) error {
 					if c.Method == "get" {
-						_, err := kv.get(tx, c.Args[0].(int64))
+						_, err := kv.get(tx, c.Args[0].Int())
 						return err
 					}
-					_, err := kv.put(tx, c.Args[0].(int64), c.Args[1].(int64))
+					_, err := kv.put(tx, c.Args[0].Int(), c.Args[1].Int())
 					return err
 				}
 				if err := invoke(tx1, c1); err != nil {

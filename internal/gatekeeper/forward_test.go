@@ -53,7 +53,7 @@ func newGSetCfg(t *testing.T, spec *core.Spec, cfg Config, init ...int64) *gset 
 		s.elems[v] = true
 	}
 	g, err := NewForwardConfig(spec, func(fn string, args []core.Value) (core.Value, error) {
-		return nil, fmt.Errorf("set has no state functions, asked for %s", fn)
+		return core.Value{}, fmt.Errorf("set has no state functions, asked for %s", fn)
 	}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -63,35 +63,35 @@ func newGSetCfg(t *testing.T, spec *core.Spec, cfg Config, init ...int64) *gset 
 }
 
 func (s *gset) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
-	return s.invokeV(tx, method, x, x)
+	return s.invokeV(tx, method, x, core.VInt(x))
 }
 
 // invokeV invokes method with an arbitrary argument value standing for
 // the logical key x — e.g. float64(5.0) for 5 — to exercise the index's
 // cross-type key canonicalization.
 func (s *gset) invokeV(tx *engine.Tx, method string, x int64, arg core.Value) (bool, error) {
-	ret, err := s.g.Invoke(tx, method, []core.Value{arg}, func() Effect {
+	ret, err := s.g.Invoke(tx, method, core.MakeVec(core.V(arg)), func() Effect {
 		switch method {
 		case "add":
 			if s.elems[x] {
-				return Effect{Ret: false}
+				return Effect{Ret: core.VBool(false)}
 			}
 			s.elems[x] = true
-			return Effect{Ret: true, Undo: func() { delete(s.elems, x) }}
+			return Effect{Ret: core.VBool(true), Undo: func() { delete(s.elems, x) }}
 		case "remove":
 			if !s.elems[x] {
-				return Effect{Ret: false}
+				return Effect{Ret: core.VBool(false)}
 			}
 			delete(s.elems, x)
-			return Effect{Ret: true, Undo: func() { s.elems[x] = true }}
+			return Effect{Ret: core.VBool(true), Undo: func() { s.elems[x] = true }}
 		default:
-			return Effect{Ret: s.elems[x]}
+			return Effect{Ret: core.VBool(s.elems[x])}
 		}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 func (s *gset) key() string {
@@ -233,8 +233,8 @@ func TestForwardMatchesOracle(t *testing.T) {
 						// Oracle: expected r2 and condition value.
 						expR2 := oracleApply(st, m1, v1, m2, v2)
 						env := &core.PairEnv{
-							Inv1: core.NewInvocation(m1, []core.Value{v1}, r1),
-							Inv2: core.NewInvocation(m2, []core.Value{v2}, expR2),
+							Inv1: core.NewInvocation(m1, []core.Value{core.V(v1)}, core.VBool(r1)),
+							Inv2: core.NewInvocation(m2, []core.Value{core.V(v2)}, core.VBool(expR2)),
 						}
 						want, oerr := core.Eval(spec.Cond(m1, m2), env)
 						if oerr != nil {
@@ -380,40 +380,40 @@ func TestForwardKdStyleLogging(t *testing.T) {
 	}
 	g, err := NewForward(kdSpec(), func(fn string, args []core.Value) (core.Value, error) {
 		if fn != "dist" {
-			return nil, fmt.Errorf("unknown fn %s", fn)
+			return core.Value{}, fmt.Errorf("unknown fn %s", fn)
 		}
-		return dist(args[0].(int64), args[1].(int64)), nil
+		return core.VInt(dist(args[0].Int(), args[1].Int())), nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	nearest := func(tx *engine.Tx, a int64) (int64, error) {
-		ret, err := g.Invoke(tx, "nearest", []core.Value{a}, func() Effect {
+		ret, err := g.Invoke(tx, "nearest", core.MakeVec(core.V(a)), func() Effect {
 			best, bd := int64(-1), int64(1<<62)
 			for p := range points {
 				if d := dist(a, p); d < bd {
 					best, bd = p, d
 				}
 			}
-			return Effect{Ret: best}
+			return Effect{Ret: core.VInt(best)}
 		})
 		if err != nil {
 			return 0, err
 		}
-		return ret.(int64), nil
+		return ret.Int(), nil
 	}
 	add := func(tx *engine.Tx, a int64) (bool, error) {
-		ret, err := g.Invoke(tx, "add", []core.Value{a}, func() Effect {
+		ret, err := g.Invoke(tx, "add", core.MakeVec(core.V(a)), func() Effect {
 			if points[a] {
-				return Effect{Ret: false}
+				return Effect{Ret: core.VBool(false)}
 			}
 			points[a] = true
-			return Effect{Ret: true, Undo: func() { delete(points, a) }}
+			return Effect{Ret: core.VBool(true), Undo: func() { delete(points, a) }}
 		})
 		if err != nil {
 			return false, err
 		}
-		return ret.(bool), nil
+		return ret.Bool(), nil
 	}
 
 	tx1, tx2 := engine.NewTx(), engine.NewTx()

@@ -83,6 +83,36 @@ type gentry struct {
 	pos  int
 }
 
+var gentryPool = sync.Pool{New: func() any { return new(gentry) }}
+
+// putGentry recycles an entry, zeroing every Value field so pooled
+// records retain no user-type references (see Forward.putEntry).
+func putGentry(e *gentry) {
+	e.tx = nil
+	e.inv.Args.Release()
+	e.inv = core.Invocation{}
+	e.seqPre = 0
+	for i := range e.keys {
+		e.keys[i] = core.Value{}
+	}
+	e.keys = e.keys[:0]
+	e.gen = 0
+	e.pos = 0
+	gentryPool.Put(e)
+}
+
+var jentryPool = sync.Pool{New: func() any { return new(jentry) }}
+
+// putJentry recycles a journal node, dropping its undo/redo closures.
+func putJentry(j *jentry) {
+	j.seq = 0
+	j.tx = nil
+	j.undo = nil
+	j.redo = nil
+	j.prev, j.next = nil, nil
+	jentryPool.Put(j)
+}
+
 // gpending is one queued check of an Invoke: the active entry, the plan,
 // and the windows into the shared value arena holding the
 // rollback-captured fn1 and fn2 values.
@@ -127,6 +157,8 @@ type General struct {
 	nActive  int
 	byTxE    map[*engine.Tx][]*gentry // each tx's own active entries
 	byTxJ    map[*engine.Tx][]*jentry // each tx's own journal entries, oldest first
+	eLists   [][]*gentry              // recycled byTxE slices
+	jLists   [][]*jentry              // recycled byTxJ slices
 	hooked   map[*engine.Tx]bool
 	stats    Stats
 	probeGen uint64
@@ -135,6 +167,11 @@ type General struct {
 	checks    []gpending
 	valbuf    []core.Value
 	probeKeys []core.Value
+	// ctx is the compiled-checker evaluation context. A local checkCtx
+	// escapes (its address flows into checker function values), so the
+	// hot paths reuse this one field instead; it retains at most the
+	// latest invocation between calls.
+	ctx checkCtx
 }
 
 // NewGeneral constructs a general gatekeeper for spec over a structure
@@ -222,7 +259,7 @@ func (g *General) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[
 				return s
 			}
 		}
-		s := &keySlot[*gentry]{term: x, extract: extract, index: map[core.Value][]*gentry{}}
+		s := &keySlot[*gentry]{term: x, extract: extract, index: map[core.Value]*bucket[*gentry]{}}
 		g.slots[m1] = append(g.slots[m1], s)
 		return s
 	}
@@ -232,25 +269,26 @@ func (g *General) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[
 // active invocations from other transactions, rolling the structure back
 // as needed to evaluate stateful condition terms in the right states. On
 // conflict the invocation's own effect is undone before returning.
-func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec func() GEffect) (core.Value, error) {
+func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func() GEffect) (core.Value, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.stats.Invocations++
 
-	inv := core.NewInvocation(method, args, nil)
+	inv := core.Invocation{Method: method, Args: args}
 	seqPre := g.seq
 
 	eff := exec()
-	inv.Ret = core.Norm(eff.Ret)
+	inv.Ret = eff.Ret
 	var own *jentry
 	if eff.Undo != nil {
 		if eff.Redo == nil {
 			panic("gatekeeper: GEffect with Undo but no Redo")
 		}
 		g.seq++
-		own = &jentry{seq: g.seq, tx: tx, undo: eff.Undo, redo: eff.Redo}
+		own = jentryPool.Get().(*jentry)
+		own.seq, own.tx, own.undo, own.redo = g.seq, tx, eff.Undo, eff.Redo
 		g.linkJournal(own)
-		g.byTxJ[tx] = append(g.byTxJ[tx], own)
+		g.byTxJ[tx] = g.appendJ(g.byTxJ[tx], own)
 	}
 
 	// Gather the checks and the rollback points they need. Indexed
@@ -300,10 +338,10 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 	}
 	probePair := func(pc gPairCheck) {
 		g.stats.Probes++
-		pctx := checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
+		g.ctx = checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
 		keys := g.probeKeys[:0]
 		for _, pk := range pc.plan.keys {
-			v, err := pk.probe(&pctx)
+			v, err := pk.probe(&g.ctx)
 			if err != nil {
 				g.probeKeys = keys
 				scanPair(pc)
@@ -322,9 +360,9 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		gen := g.probeGen
 		for i, pk := range pc.plan.keys {
 			k := keys[i]
-			_, isNaN := k.(core.NaNKey)
+			isNaN := k.Kind() == core.KindNaN
 			imm := pc.plan.pureDiseq && !isNaN
-			for _, ae := range pk.slot.index[k] {
+			for _, ae := range pk.slot.probe(k) {
 				if ae.tx == tx || ae.gen == gen {
 					continue
 				}
@@ -362,10 +400,12 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 			lst := g.byTxJ[tx]
 			lst[len(lst)-1] = nil
 			g.byTxJ[tx] = lst[:len(lst)-1]
+			putJentry(own)
 		}
 	}
 
-	ctx := checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
+	g.ctx = checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
+	ctx := &g.ctx
 	for i := range g.checks {
 		p := &g.checks[i]
 		if p.immediate {
@@ -384,7 +424,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		ctx.env.Inv1 = p.e.inv
 		ctx.log1 = g.valbuf[p.off1 : p.off1+p.n1]
 		ctx.pre2 = g.valbuf[p.off2 : p.off2+p.n2]
-		ok, err := p.plan.check(&ctx)
+		ok, err := p.plan.check(ctx)
 		if err != nil {
 			undoOwn()
 			return eff.Ret, fmt.Errorf("gatekeeper: checking (%s,%s): %w", p.e.inv.Method, method, err)
@@ -397,18 +437,43 @@ func (g *General) Invoke(tx *engine.Tx, method string, args []core.Value, exec f
 		}
 	}
 
-	e := &gentry{tx: tx, inv: inv, seqPre: seqPre}
+	e := gentryPool.Get().(*gentry)
+	e.tx, e.inv, e.seqPre = tx, inv, seqPre
 	g.indexEntry(method, e)
 	e.pos = len(g.active[method])
 	g.active[method] = append(g.active[method], e)
-	g.byTxE[tx] = append(g.byTxE[tx], e)
+	g.byTxE[tx] = g.appendE(g.byTxE[tx], e)
 	g.nActive++
 	if !g.hooked[tx] {
 		g.hooked[tx] = true
-		tx.OnUndo(func() { g.abortTx(tx) })
-		tx.OnRelease(func() { g.endTx(tx) })
+		tx.OnUndoer(g)
+		tx.OnReleaser(g)
 	}
 	return eff.Ret, nil
+}
+
+// appendE/appendJ append to a per-tx list, seeding a fresh list from the
+// recycled pool so steady-state transactions allocate no slices.
+func (g *General) appendE(lst []*gentry, e *gentry) []*gentry {
+	if lst == nil {
+		if n := len(g.eLists); n > 0 {
+			lst = g.eLists[n-1]
+			g.eLists[n-1] = nil
+			g.eLists = g.eLists[:n-1]
+		}
+	}
+	return append(lst, e)
+}
+
+func (g *General) appendJ(lst []*jentry, j *jentry) []*jentry {
+	if lst == nil {
+		if n := len(g.jLists); n > 0 {
+			lst = g.jLists[n-1]
+			g.jLists[n-1] = nil
+			g.jLists = g.jLists[:n-1]
+		}
+	}
+	return append(lst, j)
 }
 
 // linkJournal appends j at the journal's newest end.
@@ -503,15 +568,21 @@ func (g *General) rollbackEval(inv core.Invocation, seqPre uint64, needState map
 	}
 }
 
-// abortTx undoes the transaction's journaled mutations, newest first, and
-// drops them from the journal. Installed as a tx undo hook.
-func (g *General) abortTx(tx *engine.Tx) {
+// UndoTx undoes the transaction's journaled mutations, newest first, and
+// drops them from the journal. Installed as a tx undo hook
+// (engine.Undoer, so registration allocates nothing).
+func (g *General) UndoTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	lst := g.byTxJ[tx]
 	for i := len(lst) - 1; i >= 0; i-- {
 		lst[i].undo()
 		g.unlinkJournal(lst[i])
+		putJentry(lst[i])
+		lst[i] = nil
+	}
+	if lst != nil {
+		g.jLists = append(g.jLists, lst[:0])
 	}
 	delete(g.byTxJ, tx)
 }
@@ -528,22 +599,35 @@ func (g *General) removeActive(m string, e *gentry) {
 	g.active[m] = es[:last]
 }
 
-// endTx drops the transaction's journal entries (now permanent) and
-// active invocations. Installed as a tx release hook; on abort the
-// journal was already emptied by abortTx. Like Forward.release, it
-// walks only the transaction's own entries.
-func (g *General) endTx(tx *engine.Tx) {
+// ReleaseTx drops the transaction's journal entries (now permanent) and
+// active invocations. Installed as a tx release hook (engine.Releaser);
+// on abort the journal was already emptied by UndoTx. Like
+// Forward.ReleaseTx, it walks only the transaction's own entries, and
+// recycles them plus the per-tx lists.
+func (g *General) ReleaseTx(tx *engine.Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, j := range g.byTxJ[tx] {
+	jlst := g.byTxJ[tx]
+	for i, j := range jlst {
 		g.unlinkJournal(j)
+		putJentry(j)
+		jlst[i] = nil
+	}
+	if jlst != nil {
+		g.jLists = append(g.jLists, jlst[:0])
 	}
 	delete(g.byTxJ, tx)
-	for _, e := range g.byTxE[tx] {
+	elst := g.byTxE[tx]
+	for i, e := range elst {
 		m := e.inv.Method
 		g.removeActive(m, e)
 		g.dropFromIndex(m, e)
 		g.nActive--
+		putGentry(e)
+		elst[i] = nil
+	}
+	if elst != nil {
+		g.eLists = append(g.eLists, elst[:0])
 	}
 	delete(g.byTxE, tx)
 	delete(g.hooked, tx)
@@ -557,10 +641,14 @@ func (g *General) indexEntry(method string, e *gentry) {
 	if len(slots) == 0 {
 		return
 	}
-	ctx := checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}}
-	e.keys = make([]core.Value, len(slots))
+	g.ctx = checkCtx{env: core.PairEnv{Inv1: e.inv, S1: g.res, S2: g.res}}
+	if cap(e.keys) >= len(slots) {
+		e.keys = e.keys[:len(slots)]
+	} else {
+		e.keys = make([]core.Value, len(slots))
+	}
 	for i, s := range slots {
-		v, err := s.extract(&ctx)
+		v, err := s.extract(&g.ctx)
 		if err == nil {
 			if k, kok := core.MapKey(v); kok {
 				e.keys[i] = k

@@ -62,11 +62,11 @@ func newGUF(t *testing.T, n int) *guf {
 	g, err := NewGeneral(ufSpec(), func(fn string, args []core.Value) (core.Value, error) {
 		switch fn {
 		case "rep":
-			return u.rep(args[0].(int64)), nil
+			return core.VInt(u.rep(args[0].Int())), nil
 		case "loser":
-			return u.loser(args[0].(int64), args[1].(int64)), nil
+			return core.VInt(u.loser(args[0].Int(), args[1].Int())), nil
 		default:
-			return nil, fmt.Errorf("unknown fn %s", fn)
+			return core.Value{}, fmt.Errorf("unknown fn %s", fn)
 		}
 	})
 	if err != nil {
@@ -95,7 +95,7 @@ func (u *guf) loser(a, b int64) int64 {
 }
 
 func (u *guf) union(tx *engine.Tx, a, b int64) error {
-	_, err := u.g.Invoke(tx, "union", []core.Value{a, b}, func() GEffect {
+	_, err := u.g.Invoke(tx, "union", core.MakeVec(core.V(a), core.V(b)), func() GEffect {
 		ra, rb := u.rep(a), u.rep(b)
 		if ra == rb {
 			return GEffect{}
@@ -112,13 +112,13 @@ func (u *guf) union(tx *engine.Tx, a, b int64) error {
 }
 
 func (u *guf) find(tx *engine.Tx, a int64) (int64, error) {
-	ret, err := u.g.Invoke(tx, "find", []core.Value{a}, func() GEffect {
-		return GEffect{Ret: u.rep(a)}
+	ret, err := u.g.Invoke(tx, "find", core.MakeVec(core.V(a)), func() GEffect {
+		return GEffect{Ret: core.VInt(u.rep(a))}
 	})
 	if err != nil {
 		return 0, err
 	}
-	return ret.(int64), nil
+	return ret.Int(), nil
 }
 
 // ufModel adapts the fixture to core.Model for brute-force validation of
@@ -150,21 +150,21 @@ func (m *ufModel) rep(x int64) int64 {
 func (m *ufModel) Apply(method string, args []core.Value) (core.Value, error) {
 	switch method {
 	case "find":
-		return m.rep(core.Norm(args[0]).(int64)), nil
+		return core.VInt(m.rep(args[0].Int())), nil
 	case "union":
-		a, b := core.Norm(args[0]).(int64), core.Norm(args[1]).(int64)
+		a, b := args[0].Int(), args[1].Int()
 		ra, rb := m.rep(a), m.rep(b)
 		if ra == rb {
-			return nil, nil
+			return core.Value{}, nil
 		}
 		l, w := ra, rb
 		if rb < ra {
 			l, w = rb, ra
 		}
 		m.parent[l] = w
-		return nil, nil
+		return core.Value{}, nil
 	default:
-		return nil, fmt.Errorf("unknown method %s", method)
+		return core.Value{}, fmt.Errorf("unknown method %s", method)
 	}
 }
 
@@ -182,16 +182,16 @@ func (m *ufModel) StateKey() string {
 func (m *ufModel) StateFn(fn string, args []core.Value) (core.Value, error) {
 	switch fn {
 	case "rep":
-		return m.rep(core.Norm(args[0]).(int64)), nil
+		return core.VInt(m.rep(args[0].Int())), nil
 	case "loser":
-		a, b := core.Norm(args[0]).(int64), core.Norm(args[1]).(int64)
+		a, b := args[0].Int(), args[1].Int()
 		ra, rb := m.rep(a), m.rep(b)
 		if ra < rb {
-			return ra, nil
+			return core.VInt(ra), nil
 		}
-		return rb, nil
+		return core.VInt(rb), nil
 	default:
-		return nil, fmt.Errorf("unknown fn %s", fn)
+		return core.Value{}, fmt.Errorf("unknown fn %s", fn)
 	}
 }
 
@@ -216,27 +216,27 @@ func TestUFSpecSoundByBruteForce(t *testing.T) {
 	base := newUFModel(4)
 	states = append(states, base.Clone())
 	s1 := base.Clone().(*ufModel)
-	if _, err := s1.Apply("union", []core.Value{int64(0), int64(1)}); err != nil {
+	if _, err := s1.Apply("union", []core.Value{core.V(int64(0)), core.V(int64(1))}); err != nil {
 		t.Fatal(err)
 	}
 	states = append(states, s1.Clone())
 	s2 := s1.Clone().(*ufModel)
-	if _, err := s2.Apply("union", []core.Value{int64(2), int64(3)}); err != nil {
+	if _, err := s2.Apply("union", []core.Value{core.V(int64(2)), core.V(int64(3))}); err != nil {
 		t.Fatal(err)
 	}
 	states = append(states, s2.Clone())
 	s3 := s2.Clone().(*ufModel)
-	if _, err := s3.Apply("union", []core.Value{int64(0), int64(2)}); err != nil {
+	if _, err := s3.Apply("union", []core.Value{core.V(int64(0)), core.V(int64(2))}); err != nil {
 		t.Fatal(err)
 	}
 	states = append(states, s3)
 
 	var calls []core.Call
 	for a := int64(0); a < 4; a++ {
-		calls = append(calls, core.Call{Method: "find", Args: []core.Value{a}})
+		calls = append(calls, core.Call{Method: "find", Args: []core.Value{core.V(a)}})
 		for b := int64(0); b < 4; b++ {
 			if a != b {
-				calls = append(calls, core.Call{Method: "union", Args: []core.Value{a, b}})
+				calls = append(calls, core.Call{Method: "union", Args: []core.Value{core.V(a), core.V(b)}})
 			}
 		}
 	}
@@ -372,10 +372,10 @@ func TestGeneralMatchesOracle(t *testing.T) {
 	const n = 4
 	var calls []core.Call
 	for a := int64(0); a < n; a++ {
-		calls = append(calls, core.Call{Method: "find", Args: []core.Value{a}})
+		calls = append(calls, core.Call{Method: "find", Args: []core.Value{core.V(a)}})
 		for b := int64(0); b < n; b++ {
 			if a != b {
-				calls = append(calls, core.Call{Method: "union", Args: []core.Value{a, b}})
+				calls = append(calls, core.Call{Method: "union", Args: []core.Value{core.V(a), core.V(b)}})
 			}
 		}
 	}
@@ -387,7 +387,7 @@ func TestGeneralMatchesOracle(t *testing.T) {
 				// Oracle on the model.
 				m0 := newUFModel(n)
 				for _, uv := range seed {
-					if _, err := m0.Apply("union", []core.Value{uv[0], uv[1]}); err != nil {
+					if _, err := m0.Apply("union", []core.Value{core.V(uv[0]), core.V(uv[1])}); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -425,10 +425,10 @@ func TestGeneralMatchesOracle(t *testing.T) {
 				tx1, tx2 := engine.NewTx(), engine.NewTx()
 				invoke := func(tx *engine.Tx, c core.Call) error {
 					if c.Method == "find" {
-						_, err := u.find(tx, c.Args[0].(int64))
+						_, err := u.find(tx, c.Args[0].Int())
 						return err
 					}
-					return u.union(tx, c.Args[0].(int64), c.Args[1].(int64))
+					return u.union(tx, c.Args[0].Int(), c.Args[1].Int())
 				}
 				if err := invoke(tx1, c1); err != nil {
 					t.Fatalf("first invocation conflicted: %v", err)
@@ -491,7 +491,7 @@ func TestGeneralConcurrentStress(t *testing.T) {
 	// unions (in any order — unions are confluent on the partition).
 	ref := newUFModel(n)
 	for _, e := range committed {
-		if _, err := ref.Apply("union", []core.Value{e.a, e.b}); err != nil {
+		if _, err := ref.Apply("union", []core.Value{core.V(e.a), core.V(e.b)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -515,7 +515,7 @@ func TestGeneralPanicsWithoutRedo(t *testing.T) {
 			t.Error("Undo without Redo should panic")
 		}
 	}()
-	_, _ = u.g.Invoke(tx, "union", []core.Value{int64(0), int64(1)}, func() GEffect {
+	_, _ = u.g.Invoke(tx, "union", core.MakeVec(core.V(int64(0)), core.V(int64(1))), func() GEffect {
 		return GEffect{Undo: func() {}}
 	})
 }

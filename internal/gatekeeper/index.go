@@ -8,13 +8,17 @@ import (
 // both gatekeepers. core.DecomposeDiseq proves, per ordered method
 // pair, that the pair condition is implied whenever a set of
 // disequality guards x ≠ y all hold; the gatekeeper then buckets active
-// invocations by the canonical hash key (core.MapKey) of each guard's
+// invocations by the canonical key (core.MapKey) of each guard's
 // x-value, and an incoming invocation probes with its y-values. Only
 // colliding entries — those that might falsify a guard — reach the full
 // compiled checker, so on workloads over distinct keys the per-check
 // cost is O(1) expected in the active-window size instead of linear.
 // This realizes, for gatekeepers, the same hashing idea the paper's
 // abstract locks use for SIMPLE conditions (§3.2).
+//
+// Buckets are recycled through a per-slot free list so steady-state
+// insert/remove cycles over fresh keys allocate nothing: the map entry
+// reuses a pooled bucket whose element slice keeps its capacity.
 
 // keySlot is one distinct guard key term of a method: the bucket map
 // from canonical key values to the active entries whose x-value hashed
@@ -24,13 +28,38 @@ import (
 type keySlot[E comparable] struct {
 	term    core.Term // the guard's x term, for dedup and diagnostics
 	extract termFn    // compiled x evaluator, run at insert time
-	index   map[core.Value][]E
+	index   map[core.Value]*bucket[E]
 	unkeyed []E
+	free    []*bucket[E] // recycled empty buckets
+}
+
+// bucket holds the active entries of one canonical key. The slice keeps
+// its capacity across recycling, so a hot key churns with zero
+// allocations after warm-up.
+type bucket[E comparable] struct {
+	es []E
+}
+
+func (s *keySlot[E]) getBucket() *bucket[E] {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b
+	}
+	return &bucket[E]{}
 }
 
 // insert buckets e under key k; insertUnkeyed records an entry whose
 // key could not be canonicalized.
-func (s *keySlot[E]) insert(k core.Value, e E) { s.index[k] = append(s.index[k], e) }
+func (s *keySlot[E]) insert(k core.Value, e E) {
+	b := s.index[k]
+	if b == nil {
+		b = s.getBucket()
+		s.index[k] = b
+	}
+	b.es = append(b.es, e)
+}
 
 func (s *keySlot[E]) insertUnkeyed(e E) { s.unkeyed = append(s.unkeyed, e) }
 
@@ -38,17 +67,28 @@ func (s *keySlot[E]) insertUnkeyed(e E) { s.unkeyed = append(s.unkeyed, e) }
 // with (entries remember their keys); the unset sentinel means e was
 // recorded unkeyed.
 func (s *keySlot[E]) remove(k core.Value, e E) {
-	if k == unset {
+	if k.IsUnset() {
 		removeElem(&s.unkeyed, e)
 		return
 	}
 	b := s.index[k]
-	removeElem(&b, e)
-	if len(b) == 0 {
-		delete(s.index, k)
-	} else {
-		s.index[k] = b
+	if b == nil {
+		return
 	}
+	removeElem(&b.es, e)
+	if len(b.es) == 0 {
+		delete(s.index, k)
+		b.es = b.es[:0]
+		s.free = append(s.free, b)
+	}
+}
+
+// probe returns the entries bucketed under k (nil when none).
+func (s *keySlot[E]) probe(k core.Value) []E {
+	if b := s.index[k]; b != nil {
+		return b.es
+	}
+	return nil
 }
 
 func removeElem[E comparable](xs *[]E, e E) {

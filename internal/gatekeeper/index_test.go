@@ -31,9 +31,9 @@ func TestForwardIndexPlanShapes(t *testing.T) {
 		indexed   bool
 		pureDiseq bool
 	}{
-		{"add", "add", true, false},       // Ne ∨ (r1=false ∧ r2=false): guarded residual
-		{"add", "contains", true, false},  // Ne ∨ r1=false
-		{"contains", "add", true, false},  // swapped: Ne ∨ r2=false
+		{"add", "add", true, false},      // Ne ∨ (r1=false ∧ r2=false): guarded residual
+		{"add", "contains", true, false}, // Ne ∨ r1=false
+		{"contains", "add", true, false}, // swapped: Ne ∨ r2=false
 		{"remove", "remove", true, false},
 	} {
 		plan := s.g.pairs[[2]string{tc.m1, tc.m2}]
@@ -140,7 +140,7 @@ func TestForwardMixedIntFloatKeyCollision(t *testing.T) {
 		if _, err := s.invoke(tx1, "add", 5); err != nil { // mutating: ret true
 			t.Fatal(err)
 		}
-		if _, err := s.invokeV(tx2, "add", 5, float64(5.0)); !engine.IsConflict(err) {
+		if _, err := s.invokeV(tx2, "add", 5, core.VFloat(5.0)); !engine.IsConflict(err) {
 			t.Fatalf("add(5.0) must conflict with active add(5), got %v", err)
 		}
 		tx1.Abort()
@@ -157,10 +157,10 @@ func TestForwardNaNKeysStayConservative(t *testing.T) {
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
 	defer tx1.Abort()
 	defer tx2.Abort()
-	if _, err := s.g.Invoke(tx1, "add", []core.Value{math.NaN()}, func() Effect { return Effect{Ret: true} }); err != nil {
+	if _, err := s.g.Invoke(tx1, "add", core.MakeVec(core.V(math.NaN())), func() Effect { return Effect{Ret: core.VBool(true)} }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.g.Invoke(tx2, "add", []core.Value{math.NaN()}, func() Effect { return Effect{Ret: true} }); err != nil {
+	if _, err := s.g.Invoke(tx2, "add", core.MakeVec(core.V(math.NaN())), func() Effect { return Effect{Ret: core.VBool(true)} }); err != nil {
 		t.Fatalf("NaN adds commute (NaN != NaN): %v", err)
 	}
 	st := s.g.Stats()
@@ -178,18 +178,18 @@ func TestForwardUnkeyableValuesFallBack(t *testing.T) {
 	tx1, tx2 := engine.NewTx(), engine.NewTx()
 	defer tx1.Abort()
 	defer tx2.Abort()
-	exec := func() Effect { return Effect{Ret: true} }
-	if _, err := s.g.Invoke(tx1, "add", []core.Value{pt{1, 2}}, exec); err != nil {
+	exec := func() Effect { return Effect{Ret: core.VBool(true)} }
+	if _, err := s.g.Invoke(tx1, "add", core.MakeVec(core.V(pt{1, 2})), exec); err != nil {
 		t.Fatal(err)
 	}
 	// Distinct struct key: unkeyable probe falls back to the scan and
 	// the checker admits it.
-	if _, err := s.g.Invoke(tx2, "add", []core.Value{pt{3, 4}}, exec); err != nil {
+	if _, err := s.g.Invoke(tx2, "add", core.MakeVec(core.V(pt{3, 4})), exec); err != nil {
 		t.Fatalf("distinct struct keys commute: %v", err)
 	}
 	// Equal struct key: the scan fallback must still catch the
 	// conflict.
-	if _, err := s.g.Invoke(tx2, "add", []core.Value{pt{1, 2}}, exec); !engine.IsConflict(err) {
+	if _, err := s.g.Invoke(tx2, "add", core.MakeVec(core.V(pt{1, 2})), exec); !engine.IsConflict(err) {
 		t.Fatalf("equal struct keys must conflict, got %v", err)
 	}
 	if st := s.g.Stats(); st.FallbackScans == 0 {
@@ -199,7 +199,7 @@ func TestForwardUnkeyableValuesFallBack(t *testing.T) {
 	// fallback, still reaching the right decision.
 	tx3 := engine.NewTx()
 	defer tx3.Abort()
-	if _, err := s.g.Invoke(tx3, "add", []core.Value{float64(1 << 53)}, exec); err != nil {
+	if _, err := s.g.Invoke(tx3, "add", core.MakeVec(core.V(float64(1<<53))), exec); err != nil {
 		t.Fatalf("2^53 float vs struct keys commute: %v", err)
 	}
 }
@@ -285,28 +285,28 @@ func newGenSet(t *testing.T, cfg Config) *genSet {
 }
 
 func (s *genSet) invokeV(tx *engine.Tx, method string, x int64, arg core.Value) (bool, error) {
-	ret, err := s.g.Invoke(tx, method, []core.Value{arg}, func() GEffect {
+	ret, err := s.g.Invoke(tx, method, core.MakeVec(core.V(arg)), func() GEffect {
 		switch method {
 		case "add":
 			if s.elems[x] {
-				return GEffect{Ret: false}
+				return GEffect{Ret: core.VBool(false)}
 			}
 			s.elems[x] = true
-			return GEffect{Ret: true, Undo: func() { delete(s.elems, x) }, Redo: func() { s.elems[x] = true }}
+			return GEffect{Ret: core.VBool(true), Undo: func() { delete(s.elems, x) }, Redo: func() { s.elems[x] = true }}
 		case "remove":
 			if !s.elems[x] {
-				return GEffect{Ret: false}
+				return GEffect{Ret: core.VBool(false)}
 			}
 			delete(s.elems, x)
-			return GEffect{Ret: true, Undo: func() { s.elems[x] = true }, Redo: func() { delete(s.elems, x) }}
+			return GEffect{Ret: core.VBool(true), Undo: func() { s.elems[x] = true }, Redo: func() { delete(s.elems, x) }}
 		default:
-			return GEffect{Ret: s.elems[x]}
+			return GEffect{Ret: core.VBool(s.elems[x])}
 		}
 	})
 	if err != nil {
 		return false, err
 	}
-	return ret.(bool), nil
+	return ret.Bool(), nil
 }
 
 func TestGeneralIndexedMatchesInterpretedOracle(t *testing.T) {
@@ -330,9 +330,9 @@ func TestGeneralIndexedMatchesInterpretedOracle(t *testing.T) {
 			}
 			method := methods[r.Intn(len(methods))]
 			x := int64(r.Intn(8))
-			var arg core.Value = x
+			arg := core.VInt(x)
 			if r.Intn(3) == 0 {
-				arg = float64(x) // ValueEq-equal, not ==-equal
+				arg = core.VFloat(float64(x)) // ValueEq-equal, not ==-equal
 			}
 			wantRet, wantOK := o.step(t, i, method, x, arg)
 			ret, err := s.invokeV(txs[i], method, x, arg)
@@ -340,7 +340,7 @@ func TestGeneralIndexedMatchesInterpretedOracle(t *testing.T) {
 				t.Fatalf("seed %d step %d: %s(%v) by tx%d: general ok=%v oracle ok=%v (err=%v)",
 					seed, step, method, arg, i, gotOK, wantOK, err)
 			}
-			if err == nil && ret != wantRet.(bool) {
+			if err == nil && ret != wantRet.Bool() {
 				t.Fatalf("seed %d step %d: %s(%v) returned %v, oracle %v", seed, step, method, arg, ret, wantRet)
 			}
 		}

@@ -37,11 +37,11 @@ func (o *oracleGK) step(t *testing.T, tx int, method string, x int64, arg core.V
 	var ret core.Value
 	switch method {
 	case "add":
-		ret = !o.elems[x]
+		ret = core.VBool(!o.elems[x])
 	case "remove":
-		ret = o.elems[x]
+		ret = core.VBool(o.elems[x])
 	case "contains":
-		ret = o.elems[x]
+		ret = core.VBool(o.elems[x])
 	}
 	inv := core.NewInvocation(method, []core.Value{arg}, ret)
 	for _, a := range o.active {
@@ -108,9 +108,9 @@ func TestForwardIndexedMatchesInterpretedOracle(t *testing.T) {
 			// Sometimes spell the key as a float64: ValueEq-equal to the
 			// int64 spelling but not ==-equal, so the index must
 			// canonicalize both to one map key to keep decisions exact.
-			var arg core.Value = x
+			arg := core.VInt(x)
 			if r.Intn(3) == 0 {
-				arg = float64(x)
+				arg = core.VFloat(float64(x))
 			}
 			wantRet, wantOK := o.step(t, i, method, x, arg)
 			ret, err := s.invokeV(txs[i], method, x, arg)
@@ -124,7 +124,7 @@ func TestForwardIndexedMatchesInterpretedOracle(t *testing.T) {
 				}
 				continue
 			}
-			if ret != wantRet.(bool) {
+			if ret != wantRet.Bool() {
 				t.Fatalf("seed %d step %d: %s(%d) returned %v, oracle %v", seed, step, method, x, ret, wantRet)
 			}
 		}

@@ -89,8 +89,8 @@ bump ~ bump: v1.x + 1 < v2.x * 2 || r1 >= r2
 	}
 	c := spec.Cond("bump", "bump")
 	ok, err := core.Eval(c, &core.PairEnv{
-		Inv1: core.NewInvocation("bump", []core.Value{int64(3)}, int64(1)),
-		Inv2: core.NewInvocation("bump", []core.Value{int64(5)}, int64(2)),
+		Inv1: core.NewInvocation("bump", []core.Value{core.V(int64(3))}, core.VInt(int64(1))),
+		Inv2: core.NewInvocation("bump", []core.Value{core.V(int64(5))}, core.VInt(int64(2))),
 	})
 	if err != nil {
 		t.Fatal(err)

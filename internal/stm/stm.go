@@ -39,7 +39,7 @@ func (o *Obj) Read(tx *engine.Tx) error {
 	}
 	if _, ok := o.readers[tx]; !ok && o.writer != tx {
 		o.readers[tx] = struct{}{}
-		tx.OnRelease(func() { o.release(tx) })
+		tx.OnReleaser(o)
 	}
 	return nil
 }
@@ -61,7 +61,7 @@ func (o *Obj) Write(tx *engine.Tx) error {
 		return nil
 	}
 	if _, wasReader := o.readers[tx]; !wasReader {
-		tx.OnRelease(func() { o.release(tx) })
+		tx.OnReleaser(o)
 	} else {
 		delete(o.readers, tx) // upgrade: the write hook subsumes the read
 	}
@@ -69,7 +69,10 @@ func (o *Obj) Write(tx *engine.Tx) error {
 	return nil
 }
 
-func (o *Obj) release(tx *engine.Tx) {
+// ReleaseTx drops tx's hold on the object; the Obj is registered
+// directly as its own transaction release hook (engine.Releaser), so
+// acquisition allocates no closure.
+func (o *Obj) ReleaseTx(tx *engine.Tx) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.readers, tx)

@@ -1,0 +1,66 @@
+// Command allocgate is the CI allocation-regression gate: it compares a
+// BENCH_detectors.json report (written by `commlat bench -json`) against
+// the checked-in allocation budget BENCH_budget.json and exits non-zero
+// if any budgeted benchmark allocates more per operation than allowed.
+//
+// The budgeted benchmarks are the detector fast paths the tagged value
+// representation made allocation-free; a violation means a change
+// reintroduced boxing or per-operation garbage on a hot path. Raise a
+// budget only deliberately, in the same change that explains why.
+//
+// Usage (as CI runs it):
+//
+//	go run ./cmd/commlat bench -json -q -o BENCH_detectors.json
+//	go run ./scripts/allocgate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"commlat/internal/bench"
+)
+
+func main() {
+	report := flag.String("report", "BENCH_detectors.json", "benchmark report from `commlat bench -json`")
+	budgetPath := flag.String("budget", "BENCH_budget.json", "allocation budget (benchmark name -> max allocs/op)")
+	flag.Parse()
+
+	var rep bench.MicroReport
+	if err := readJSON(*report, &rep); err != nil {
+		fail(err)
+	}
+	var budget bench.Budget
+	if err := readJSON(*budgetPath, &budget); err != nil {
+		fail(err)
+	}
+	violations, err := bench.CheckBudget(rep.Benchmarks, budget)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "allocgate: FAIL:", v)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("allocgate: %d budgeted benchmarks within budget\n", len(budget))
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "allocgate:", err)
+	os.Exit(1)
+}
