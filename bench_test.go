@@ -256,6 +256,16 @@ func BenchmarkDetectorGeneralGatekeeper(b *testing.B) { bench.DetectorGeneralGat
 func BenchmarkDetectorUnionFindGeneric(b *testing.B)  { bench.DetectorUnionFindGeneric(b) }
 func BenchmarkDetectorUnionFindML(b *testing.B)       { bench.DetectorUnionFindML(b) }
 
+// Traced variants run with the telemetry event trace enabled
+// (unsampled); the allocation gate holds them to 0 allocs/op too.
+func BenchmarkDetectorForwardGatekeeperTraced(b *testing.B) {
+	bench.DetectorForwardGatekeeperTraced(b)
+}
+func BenchmarkDetectorGeneralGatekeeperTraced(b *testing.B) {
+	bench.DetectorGeneralGatekeeperTraced(b)
+}
+func BenchmarkTelemetryEmit(b *testing.B) { bench.TelemetryEmit(b) }
+
 func BenchmarkSynthesize(b *testing.B) {
 	spec := flowgraph.RWSpec()
 	b.ReportAllocs()

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"regexp"
 	"runtime"
@@ -43,6 +45,7 @@ import (
 	"commlat/internal/bench"
 	"commlat/internal/core"
 	"commlat/internal/spectext"
+	"commlat/internal/telemetry"
 	"commlat/internal/workload"
 )
 
@@ -51,12 +54,27 @@ func main() {
 	global.Usage = usage
 	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	listen := global.String("listen", "", "serve live telemetry (/metrics, /debug/telemetry, /debug/vars) on this address for the run's duration")
 	if err := global.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "commlat: telemetry on http://%s/\n", ln.Addr())
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "commlat: telemetry server:", err)
+			}
+		}()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -113,6 +131,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdStrengthen(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "check":
 		err = cmdCheck(args)
 	case "all":
@@ -143,12 +163,18 @@ commands:
   specs     print every commutativity specification and its class
   strengthen  derive the strongest SIMPLE spec below a given one (§4.1)
   adaptive  run the §5 future-work adaptive scheme selector on the set
+  trace     run one app with the telemetry event trace enabled; writes a
+            Chrome trace_event JSON (and optionally JSONL) plus the
+            per-method-pair conflict attribution table
   check     parse a textual specification file, classify and synthesize it
   all       run every quick experiment (tables, matrices, model, adaptive)
 
 global flags (before the command):
   -cpuprofile FILE  write a pprof CPU profile of the whole run
   -memprofile FILE  write a pprof heap profile at exit
+  -listen ADDR      serve live telemetry over HTTP while the command runs
+                    (/metrics Prometheus text, /debug/telemetry JSON,
+                    /debug/vars expvar)
 table1, table2, fig10-12, model, adaptive and bench also accept
 -cpuprofile/-memprofile after the command, scoping the profile to that
 command's measured work.

@@ -2,11 +2,13 @@ package abslock
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
 	"commlat/internal/core"
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 )
 
 // KeyFunc evaluates a pure key function (such as a partition map) used by
@@ -87,6 +89,8 @@ type Manager struct {
 	mask    uint32
 	stripes []stripe
 
+	tele *telemetry.Detector // mode-acquisition counters (mode vocabulary)
+
 	dsMu     sync.Mutex
 	ds       dlock
 	dsHooked map[*engine.Tx]struct{}
@@ -147,8 +151,18 @@ func newManagerWithStripes(scheme *Scheme, keys map[string]KeyFunc, n int) *Mana
 		}
 		m.incompat[i] = mask
 	}
+	labels := make([]string, len(scheme.Modes))
+	for i, mode := range scheme.Modes {
+		labels[i] = mode.String()
+	}
+	m.tele = telemetry.Register("abslock", scheme.ADT, labels)
 	return m
 }
+
+// Telemetry returns the manager's telemetry detector, whose snapshot
+// reports per-mode acquisition/wait counters and per-mode-pair
+// conflicts.
+func (m *Manager) Telemetry() *telemetry.Detector { return m.tele }
 
 // Scheme returns the scheme the manager enforces.
 func (m *Manager) Scheme() *Scheme { return m.scheme }
@@ -415,11 +429,18 @@ func (m *Manager) lockModes(tx *engine.Tx, l *dlock, mode int) (bool, error) {
 			own = h
 			continue
 		}
-		if h.modes&mask != 0 {
+		if conflicting := h.modes & mask; conflicting != 0 {
+			// Attribute the conflict to (held mode, acquiring mode); with
+			// several conflicting held modes, the lowest-numbered one.
+			held := uint16(bits.TrailingZeros64(conflicting))
+			m.tele.ModeWait(uint16(mode))
+			m.tele.Conflict(held, uint16(mode))
+			telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), m.tele.ID(), held, uint16(mode))
 			return false, engine.Conflict("abstract lock held in a conflicting mode by tx %d (%s acquiring %s)",
 				h.tx.ID(), m.scheme.ADT, m.scheme.Modes[mode])
 		}
 	}
+	m.tele.ModeAcquire(uint16(mode))
 	if own != nil {
 		own.modes |= 1 << uint(mode)
 		return false, nil

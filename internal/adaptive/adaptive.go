@@ -22,6 +22,7 @@ import (
 
 	"commlat/internal/adt/intset"
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 	"commlat/internal/workload"
 )
 
@@ -134,6 +135,15 @@ func Run(ladder []Rung, ops []workload.SetOp, epochSize, window, start int) (*Tr
 	ctl := NewController(len(ladder), start)
 	cur := ladder[ctl.Current()].Make(nil)
 	trace := &Trace{}
+	// One telemetry detector per adaptive run, with the rung names as its
+	// vocabulary: rung transitions are counted as (from, to) pairs and
+	// emitted as decision events.
+	names := make([]string, len(ladder))
+	for i, r := range ladder {
+		names[i] = r.Name
+	}
+	tele := telemetry.Register("adaptive", "ladder", names)
+	epoch := 0
 	for lo := 0; lo < len(ops); lo += epochSize {
 		hi := lo + epochSize
 		if hi > len(ops) {
@@ -151,12 +161,16 @@ func Run(ladder []Rung, ops []workload.SetOp, epochSize, window, start int) (*Tr
 			Throughput: float64(hi-lo) / dur.Seconds(),
 		}
 		trace.Samples = append(trace.Samples, s)
+		tele.IncInvocation()
 		next := ctl.Observe(s)
 		if next != rung && hi < len(ops) {
 			// Quiescent point: migrate the abstract state to the new rung.
 			cur = ladder[next].Make(cur.Snapshot())
 			trace.Switches++
+			tele.Check(uint16(rung), uint16(next))
+			telemetry.EmitDecision(tele.ID(), int64(epoch), uint16(rung), uint16(next))
 		}
+		epoch++
 	}
 	trace.Final = cur
 	return trace, nil

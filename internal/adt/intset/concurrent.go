@@ -7,6 +7,7 @@ import (
 	"commlat/internal/core"
 	"commlat/internal/engine"
 	"commlat/internal/gatekeeper"
+	"commlat/internal/telemetry"
 )
 
 // Set is a transactionally guarded set: the interface all conflict
@@ -42,6 +43,10 @@ func NewLocked(rep Rep, spec *core.Spec, keys map[string]abslock.KeyFunc) (*Lock
 	}
 	return &LockedSet{mgr: abslock.NewManager(scheme.Reduce(), keys), rep: rep}, nil
 }
+
+// Telemetry returns the lock manager's telemetry detector, which
+// reports per-mode acquisition/wait counters and mode-pair conflicts.
+func (s *LockedSet) Telemetry() *telemetry.Detector { return s.mgr.Telemetry() }
 
 // NewGlobalLock guards rep with the single global lock synthesized from ⊥.
 func NewGlobalLock(rep Rep) *LockedSet {
@@ -202,6 +207,10 @@ func (s *GatekeptSet) Contains(tx *engine.Tx, x int64) (bool, error) {
 
 // GateStats returns the forward gatekeeper's work counters.
 func (s *GatekeptSet) GateStats() gatekeeper.Stats { return s.g.Stats() }
+
+// Telemetry returns the gatekeeper's telemetry detector, which
+// additionally attributes checks and conflicts per method pair.
+func (s *GatekeptSet) Telemetry() *telemetry.Detector { return s.g.Telemetry() }
 
 // Snapshot returns the elements; only safe with no live transactions.
 func (s *GatekeptSet) Snapshot() []int64 {

@@ -7,6 +7,7 @@ import (
 	"commlat/internal/core"
 	"commlat/internal/engine"
 	"commlat/internal/gatekeeper"
+	"commlat/internal/telemetry"
 )
 
 // Index is a transactionally guarded kd-tree: the interface the
@@ -207,6 +208,10 @@ func (k *GKTree) Nearest(tx *engine.Tx, p Point) (Point, error) {
 
 // GateStats returns the forward gatekeeper's work counters.
 func (k *GKTree) GateStats() gatekeeper.Stats { return k.g.Stats() }
+
+// Telemetry returns the gatekeeper's telemetry detector, which
+// additionally attributes checks and conflicts per method pair.
+func (k *GKTree) Telemetry() *telemetry.Detector { return k.g.Telemetry() }
 
 // Contains queries membership under gatekeeping.
 func (k *GKTree) Contains(tx *engine.Tx, p Point) (bool, error) {

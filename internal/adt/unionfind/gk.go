@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 )
 
 // GK is the paper's concrete general gatekeeper for union-find (§3.3.2,
@@ -28,8 +29,9 @@ import (
 // invocation's true pre-state (the same stance the paper's prose takes:
 // "undoes the effects of all potentially interfering calls to union").
 type GK struct {
-	mu sync.Mutex
-	f  *Forest
+	mu   sync.Mutex
+	f    *Forest
+	tele *telemetry.Detector
 
 	journal   []txWrite
 	byTx      map[*engine.Tx]int           // live journaled writes per tx
@@ -53,10 +55,18 @@ type gkTxState struct {
 	losers []int64
 }
 
+// Method label indices for telemetry attribution (positions in the
+// detector's label vocabulary).
+const (
+	gkFind uint16 = iota
+	gkUnion
+)
+
 // NewGK creates a uf-gk structure with n elements.
 func NewGK(n int) *GK {
 	return &GK{
 		f:         NewForest(n),
+		tele:      telemetry.Register("general", "unionfind", []string{"find", "union"}),
 		byTx:      map[*engine.Tx]int{},
 		findReps:  map[int64]map[*engine.Tx]int{},
 		loserReps: map[int64]map[*engine.Tx]int{},
@@ -66,6 +76,17 @@ func NewGK(n int) *GK {
 
 // Forest exposes the underlying forest.
 func (g *GK) Forest() *Forest { return g.f }
+
+// Telemetry returns the gatekeeper's telemetry detector, which
+// attributes checks and conflicts per method pair (find/union).
+func (g *GK) Telemetry() *telemetry.Detector { return g.tele }
+
+// conflict attributes a detected conflict to the (held, incoming)
+// method pair and emits a trace event when tracing is on.
+func (g *GK) conflict(tx *engine.Tx, held, incoming uint16) {
+	g.tele.Conflict(held, incoming)
+	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), held, incoming)
+}
 
 // othersLive reports whether any transaction other than tx has journaled
 // mutations.
@@ -123,6 +144,7 @@ func heldByOther(bucket map[*engine.Tx]int, tx *engine.Tx) (*engine.Tx, bool) {
 func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.tele.IncInvocation()
 
 	var ra0, rb0 int64
 	if !g.othersLive(tx) {
@@ -137,10 +159,13 @@ func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
 	} else {
 		ra0, rb0 = g.baseReps(tx, a, b)
 	}
+	g.tele.Check(gkUnion, gkUnion)
 	if other, held := heldByOther(g.loserReps[ra0], tx); held {
+		g.conflict(tx, gkUnion, gkUnion)
 		return false, engine.Conflict("uf-gk: rep %d of %d lost an active union (tx %d)", ra0, a, other.ID())
 	}
 	if other, held := heldByOther(g.loserReps[rb0], tx); held {
+		g.conflict(tx, gkUnion, gkUnion)
 		return false, engine.Conflict("uf-gk: rep %d of %d lost an active union (tx %d)", rb0, b, other.ID())
 	}
 	if ra0 == rb0 {
@@ -150,7 +175,9 @@ func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
 	if rb0 < ra0 {
 		l = rb0
 	}
+	g.tele.Check(gkFind, gkUnion)
 	if other, held := heldByOther(g.findReps[l], tx); held {
+		g.conflict(tx, gkFind, gkUnion)
 		return false, engine.Conflict("uf-gk: loser %d was returned by an active find (tx %d)", l, other.ID())
 	}
 
@@ -172,17 +199,21 @@ func (g *GK) Union(tx *engine.Tx, a, b int64) (bool, error) {
 func (g *GK) Find(tx *engine.Tx, a int64) (int64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.tele.IncInvocation()
 
 	ra, ws := g.f.FindW(a)
 	if g.othersLive(tx) {
 		// Re-execute in the pre-state of the active invocations: undo our
 		// fresh compression, unwind other transactions' writes, query,
 		// replay.
+		g.tele.Check(gkUnion, gkFind)
+		g.tele.IncRollback()
 		g.f.Revert(ws)
 		g.rollbackOthers(tx)
 		ra0 := g.f.FindNoCompress(a)
 		g.redoOthers(tx)
 		if ra0 != ra {
+			g.conflict(tx, gkUnion, gkFind)
 			return ra, engine.Conflict("uf-gk: find(%d) = %d observes an active union (was %d)", a, ra, ra0)
 		}
 		g.f.Apply(ws)
@@ -204,6 +235,10 @@ func (g *GK) journalWrites(tx *engine.Tx, ws []Write) {
 		g.journal = append(g.journal, txWrite{tx: tx, w: w})
 	}
 	g.byTx[tx] += len(ws)
+	if len(ws) > 0 {
+		g.tele.IncLogEntry()
+		g.tele.ObserveJournal(len(g.journal))
+	}
 }
 
 // getBucket returns an empty rep bucket, recycled when possible.

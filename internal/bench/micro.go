@@ -22,6 +22,7 @@ import (
 	"commlat/internal/core"
 	"commlat/internal/engine"
 	"commlat/internal/gatekeeper"
+	"commlat/internal/telemetry"
 )
 
 // Micro is one named detector micro-benchmark.
@@ -43,6 +44,9 @@ func Micros() []Micro {
 		{"DetectorUnionFindGeneric", DetectorUnionFindGeneric},
 		{"DetectorUnionFindML", DetectorUnionFindML},
 		{"CondEval", CondEval},
+		{"DetectorForwardGatekeeper/traced", DetectorForwardGatekeeperTraced},
+		{"DetectorGeneralGatekeeper/traced", DetectorGeneralGatekeeperTraced},
+		{"TelemetryEmit", TelemetryEmit},
 	}
 	for _, w := range []int{64, 512, 4096} {
 		w := w
@@ -130,6 +134,35 @@ func DetectorUnionFindGeneric(b *testing.B) {
 // DetectorUnionFindML: union-find under abstract locks.
 func DetectorUnionFindML(b *testing.B) {
 	benchUnionFind(b, unionfind.NewML(1<<16))
+}
+
+// DetectorForwardGatekeeperTraced is DetectorForwardGatekeeper with the
+// telemetry event trace enabled (unsampled): the cost of instrumented
+// speculation, which must stay at 0 allocs/op.
+func DetectorForwardGatekeeperTraced(b *testing.B) {
+	telemetry.EnableTrace(1<<12, 1)
+	defer telemetry.DisableTrace()
+	benchSetAdd(b, intset.NewGatekept(intset.NewHashRep()))
+}
+
+// DetectorGeneralGatekeeperTraced is DetectorGeneralGatekeeper with the
+// telemetry event trace enabled (unsampled).
+func DetectorGeneralGatekeeperTraced(b *testing.B) {
+	telemetry.EnableTrace(1<<12, 1)
+	defer telemetry.DisableTrace()
+	benchUnionFind(b, unionfind.NewGK(1<<16))
+}
+
+// TelemetryEmit measures one enabled ring-buffer event emission — the
+// marginal cost tracing adds to every lifecycle edge.
+func TelemetryEmit(b *testing.B) {
+	telemetry.EnableTrace(1<<12, 1)
+	defer telemetry.DisableTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		telemetry.Emit(i&7, telemetry.EvBegin, uint64(i), int64(i), 0, 0, 0)
+	}
 }
 
 // CondEval: one interpreted evaluation of figure 2's add/contains

@@ -7,7 +7,7 @@ import (
 
 	"commlat/internal/adt/intset"
 	"commlat/internal/engine"
-	"commlat/internal/gatekeeper"
+	"commlat/internal/telemetry"
 	"commlat/internal/workload"
 )
 
@@ -22,22 +22,24 @@ type Table2Row struct {
 	RepeatedSeconds  float64
 	DistinctElements []int64 // final set contents (for validation); nil in reports
 
-	// DistinctGate and RepeatedGate hold the gatekeeper's internal work
-	// counters for each input, for schemes backed by one (nil otherwise).
-	DistinctGate *gatekeeper.Stats
-	RepeatedGate *gatekeeper.Stats
+	// DistinctTele and RepeatedTele hold the detector's telemetry
+	// snapshot for each input — work counters plus per-method-pair (or
+	// per-mode) conflict attribution — for schemes backed by an
+	// instrumented detector (nil otherwise).
+	DistinctTele *telemetry.DetectorSnapshot
+	RepeatedTele *telemetry.DetectorSnapshot
 }
 
-// gateStatser is implemented by schemes backed by a gatekeeper that can
-// report its work counters (probes, collisions, fallback scans, ...).
-type gateStatser interface {
-	GateStats() gatekeeper.Stats
+// telemetried is implemented by schemes backed by an instrumented
+// detector (gatekeeper or lock manager).
+type telemetried interface {
+	Telemetry() *telemetry.Detector
 }
 
-func captureGate(s intset.Set) *gatekeeper.Stats {
-	if gs, ok := s.(gateStatser); ok {
-		st := gs.GateStats()
-		return &st
+func captureTele(s intset.Set) *telemetry.DetectorSnapshot {
+	if ts, ok := s.(telemetried); ok {
+		snap := ts.Telemetry().Snapshot()
+		return &snap
 	}
 	return nil
 }
@@ -169,31 +171,36 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			DistinctSeconds: durD.Seconds(),
 			RepeatedAborts:  statsR.AbortRatio(),
 			RepeatedSeconds: durR.Seconds(),
-			DistinctGate:    captureGate(sd),
-			RepeatedGate:    captureGate(sr),
+			DistinctTele:    captureTele(sd),
+			RepeatedTele:    captureTele(sr),
 		})
 	}
 	return rows, nil
 }
 
-// FormatTable2Stats renders the gatekeeper work counters collected by
-// Table2 for the schemes that expose them — one line per scheme and
-// input, showing how the disequality index fared (probes vs. collisions
-// vs. full-scan fallbacks) alongside the checker workload.
+// FormatTable2Stats renders the detector telemetry collected by Table2
+// for the schemes that expose it — one line per scheme and input,
+// showing the checker workload, how the disequality index fared (probes
+// vs. collisions vs. full-scan fallbacks), and which method (or mode)
+// pair dominated the conflicts with its share of the scheme's aborts.
 func FormatTable2Stats(rows []Table2Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %-9s %12s %12s %12s %12s %12s %12s\n",
-		"Gatekeeper stats", "Input", "Invocations", "Checks", "Conflicts", "Probes", "Collisions", "Fallbacks")
-	line := func(scheme, input string, st *gatekeeper.Stats) {
-		fmt.Fprintf(&b, "%-18s %-9s %12d %12d %12d %12d %12d %12d\n",
-			scheme, input, st.Invocations, st.Checks, st.Conflicts, st.Probes, st.Collisions, st.FallbackScans)
+	fmt.Fprintf(&b, "%-18s %-9s %12s %12s %12s %12s %12s %12s  %s\n",
+		"Detector stats", "Input", "Invocations", "Checks", "Conflicts", "Probes", "Collisions", "Fallbacks", "Top conflict pair")
+	line := func(scheme, input string, st *telemetry.DetectorSnapshot) {
+		top := "-"
+		if pair, share, ok := st.TopPair(); ok {
+			top = fmt.Sprintf("%s (%.0f%%)", pair, share)
+		}
+		fmt.Fprintf(&b, "%-18s %-9s %12d %12d %12d %12d %12d %12d  %s\n",
+			scheme, input, st.Invocations, st.Checks, st.Conflicts, st.Probes, st.Collisions, st.FallbackScans, top)
 	}
 	for _, r := range rows {
-		if r.DistinctGate != nil {
-			line(r.Scheme, "distinct", r.DistinctGate)
+		if r.DistinctTele != nil {
+			line(r.Scheme, "distinct", r.DistinctTele)
 		}
-		if r.RepeatedGate != nil {
-			line(r.Scheme, "repeats", r.RepeatedGate)
+		if r.RepeatedTele != nil {
+			line(r.Scheme, "repeats", r.RepeatedTele)
 		}
 	}
 	return b.String()

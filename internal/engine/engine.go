@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"commlat/internal/telemetry"
 )
 
 // ErrConflict is the sentinel returned (possibly wrapped) by conflict
@@ -87,11 +89,14 @@ type Tx struct {
 	undo    []txHook
 	release []txHook
 	status  Status
+	worker  int32 // executor worker running this tx (0 when hand-driven)
+	item    int64 // traced work-item key (-1 when unknown)
 }
 
 // NewTx creates a fresh active transaction.
 func NewTx() *Tx {
-	return &Tx{id: txIDs.Add(1)}
+	telemetry.CountTxBegin()
+	return &Tx{id: txIDs.Add(1), item: -1}
 }
 
 // GetTx returns an active transaction from the shared pool. Pair it with
@@ -103,6 +108,9 @@ func GetTx() *Tx {
 	tx := txPool.Get().(*Tx)
 	tx.id = txIDs.Add(1)
 	tx.status = Active
+	tx.worker = 0
+	tx.item = -1
+	telemetry.CountTxBegin()
 	return tx
 }
 
@@ -117,6 +125,20 @@ func PutTx(tx *Tx) {
 
 // ID returns the transaction's unique identifier.
 func (tx *Tx) ID() uint64 { return tx.id }
+
+// Worker returns the executor worker index running this transaction
+// (0 for hand-driven transactions). Conflict detectors use it to tag
+// trace events with the right track.
+func (tx *Tx) Worker() int { return int(tx.worker) }
+
+// SetWorker records the worker index running this transaction.
+func (tx *Tx) SetWorker(w int) { tx.worker = int32(w) }
+
+// Item returns the traced work-item key (-1 when unknown).
+func (tx *Tx) Item() int64 { return tx.item }
+
+// SetItem records the work-item key for trace events.
+func (tx *Tx) SetItem(item int64) { tx.item = item }
 
 // Status returns the transaction's lifecycle state.
 func (tx *Tx) Status() Status { return tx.status }
@@ -157,6 +179,7 @@ func (tx *Tx) Commit() {
 	tx.status = Committed
 	tx.runRelease()
 	clearHooks(&tx.undo)
+	telemetry.TxCommit(int(tx.worker), tx.id, tx.item)
 }
 
 // Abort rolls the transaction back: undo actions run newest-first, then
@@ -169,6 +192,7 @@ func (tx *Tx) Abort() {
 	}
 	clearHooks(&tx.undo)
 	tx.runRelease()
+	telemetry.TxAbort(int(tx.worker), tx.id, tx.item)
 }
 
 func (tx *Tx) runRelease() {

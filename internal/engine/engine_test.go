@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"commlat/internal/telemetry"
 )
 
 func TestTxLifecycle(t *testing.T) {
@@ -335,5 +338,90 @@ func TestRunSeedReproducibleBackoff(t *testing.T) {
 		if stats.Committed != 3 {
 			t.Errorf("seed %d: committed %d", seed, stats.Committed)
 		}
+	}
+}
+
+func TestRunBusyTime(t *testing.T) {
+	stats, err := RunItems([]int{1, 2, 3, 4}, Options{Workers: 2}, func(tx *Tx, item int, wl *Worklist[int]) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 iterations × 1ms body each; Busy sums across workers.
+	if stats.Busy < 4*time.Millisecond {
+		t.Errorf("Busy = %v, want >= 4ms", stats.Busy)
+	}
+	if stats.Busy > 10*stats.Elapsed {
+		t.Errorf("Busy = %v implausibly large vs Elapsed = %v", stats.Busy, stats.Elapsed)
+	}
+}
+
+func TestRunMaxedBackoffRetries(t *testing.T) {
+	// With MaxBackoff equal to the initial 1µs backoff, every retry
+	// happens at the ceiling, so MaxedBackoffRetries == Aborts
+	// deterministically.
+	var tries atomic.Int64
+	stats, err := RunItems([]int{1}, Options{Workers: 1, MaxBackoff: time.Microsecond}, func(tx *Tx, item int, wl *Worklist[int]) error {
+		if tries.Add(1) < 5 {
+			return Conflict("retry")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Aborts != 4 {
+		t.Fatalf("Aborts = %d, want 4", stats.Aborts)
+	}
+	if stats.MaxedBackoffRetries != 4 {
+		t.Errorf("MaxedBackoffRetries = %d, want 4", stats.MaxedBackoffRetries)
+	}
+	// With a generous ceiling, the first few retries are below it.
+	tries.Store(0)
+	stats, err = RunItems([]int{1}, Options{Workers: 1, MaxBackoff: time.Second}, func(tx *Tx, item int, wl *Worklist[int]) error {
+		if tries.Add(1) < 4 {
+			return Conflict("retry")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxedBackoffRetries != 0 {
+		t.Errorf("MaxedBackoffRetries = %d, want 0 under a high ceiling", stats.MaxedBackoffRetries)
+	}
+}
+
+func TestRunEmitsTraceEvents(t *testing.T) {
+	telemetry.EnableTrace(1024, 1)
+	defer telemetry.DisableTrace()
+	var tries atomic.Int64
+	_, err := RunItems([]int{7}, Options{Workers: 1}, func(tx *Tx, item int, wl *Worklist[int]) error {
+		if tries.Add(1) < 2 {
+			return Conflict("once")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var begins, commits, aborts int
+	for _, e := range telemetry.TraceEvents() {
+		switch e.Kind {
+		case telemetry.EvBegin:
+			begins++
+			if e.Item != 7 {
+				t.Errorf("begin item = %d, want 7", e.Item)
+			}
+		case telemetry.EvCommit:
+			commits++
+		case telemetry.EvAbort:
+			aborts++
+		}
+	}
+	if begins != 2 || commits != 1 || aborts != 1 {
+		t.Errorf("begins/commits/aborts = %d/%d/%d, want 2/1/1", begins, commits, aborts)
 	}
 }

@@ -1,13 +1,17 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"commlat/internal/telemetry"
 )
 
 // Stats summarizes a speculative run.
@@ -15,6 +19,15 @@ type Stats struct {
 	Committed uint64        // iterations that committed
 	Aborts    uint64        // abort/retry events
 	Elapsed   time.Duration // wall-clock time of the run
+	// Busy is the summed per-worker time spent inside iteration bodies
+	// and commit/abort processing, excluding backoff sleeps and idle
+	// steal attempts. Busy/(Workers*Elapsed) approximates utilization;
+	// Busy/Committed is the paper's per-iteration overhead quantity.
+	Busy time.Duration
+	// MaxedBackoffRetries counts retries taken after backoff had already
+	// saturated at Options.MaxBackoff — a high count relative to Aborts
+	// means the backoff ceiling, not the detector, is pacing the run.
+	MaxedBackoffRetries uint64
 }
 
 // AbortRatio returns aborts as a fraction of all attempts
@@ -72,7 +85,7 @@ type Body[T any] func(tx *Tx, item T, wl *Worklist[T]) error
 func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 	start := time.Now()
 	var stats Stats
-	var committed, aborts atomic.Uint64
+	var rc runCounters
 	nw := opts.workers()
 	errc := make(chan error, nw)
 	var stop atomic.Bool
@@ -95,7 +108,7 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 					runtime.Gosched()
 					continue
 				}
-				if err := runItem(my, item, body, rng, opts, &committed, &aborts); err != nil {
+				if err := runItem(my, w, item, body, rng, opts, &rc); err != nil {
 					stop.Store(true)
 					errc <- err
 					my.done()
@@ -106,8 +119,10 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 		}(w)
 	}
 	wg.Wait()
-	stats.Committed = committed.Load()
-	stats.Aborts = aborts.Load()
+	stats.Committed = rc.committed.Load()
+	stats.Aborts = rc.aborts.Load()
+	stats.Busy = time.Duration(rc.busyNS.Load())
+	stats.MaxedBackoffRetries = rc.maxed.Load()
 	stats.Elapsed = time.Since(start)
 	close(errc)
 	var errs []error
@@ -124,26 +139,64 @@ func Run[T any](wl *Worklist[T], opts Options, body Body[T]) (Stats, error) {
 // transaction. GetTx/PutTx expose the pool to benchmarks and tests.
 var txPool = sync.Pool{New: func() any { return new(Tx) }}
 
-func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
-	opts Options, committed, aborts *atomic.Uint64) error {
+// runCounters aggregates per-run statistics across workers.
+type runCounters struct {
+	committed atomic.Uint64
+	aborts    atomic.Uint64
+	maxed     atomic.Uint64
+	busyNS    atomic.Int64
+}
+
+func runItem[T any](wl *Worklist[T], w int, item T, body Body[T], rng *rand.Rand,
+	opts Options, rc *runCounters) error {
+	// When `go tool trace` is recording, each item is a task and each
+	// speculative attempt a region, so the trace viewer shows retry
+	// structure per item.
+	var taskCtx context.Context
+	if rtrace.IsEnabled() {
+		var task *rtrace.Task
+		taskCtx, task = rtrace.NewTask(context.Background(), "engine.item")
+		defer task.End()
+	}
 	backoff := time.Microsecond
 	for attempt := 0; ; attempt++ {
+		var region *rtrace.Region
+		if taskCtx != nil {
+			region = rtrace.StartRegion(taskCtx, "attempt")
+		}
+		t0 := time.Now()
 		tx := GetTx()
+		tx.SetWorker(w)
+		if telemetry.TraceEnabled() {
+			tx.SetItem(itemKey(item))
+			telemetry.Emit(w, telemetry.EvBegin, tx.ID(), tx.Item(), 0, 0, 0)
+		}
 		err := body(tx, item, wl)
 		if err == nil {
 			tx.Commit()
 			PutTx(tx)
-			committed.Add(1)
+			rc.committed.Add(1)
+			rc.busyNS.Add(int64(time.Since(t0)))
+			if region != nil {
+				region.End()
+			}
 			return nil
 		}
 		tx.Abort()
 		PutTx(tx)
+		rc.busyNS.Add(int64(time.Since(t0)))
+		if region != nil {
+			region.End()
+		}
 		if !IsConflict(err) {
 			return err
 		}
-		aborts.Add(1)
+		rc.aborts.Add(1)
 		if opts.MaxRetries > 0 && attempt+1 >= opts.MaxRetries {
 			return fmt.Errorf("engine: item retried %d times without committing: %w", attempt+1, err)
+		}
+		if backoff >= opts.maxBackoff() {
+			rc.maxed.Add(1)
 		}
 		// Randomized exponential backoff to break symmetric livelock.
 		d := time.Duration(rng.Int64N(int64(backoff) + 1))
@@ -152,6 +205,27 @@ func runItem[T any](wl *Worklist[T], item T, body Body[T], rng *rand.Rand,
 			backoff *= 2
 		}
 	}
+}
+
+// itemKey coerces a work item to an int64 trace key; items that are not
+// integer-like trace as -1. Called only when event tracing is enabled
+// (the interface conversion may allocate).
+func itemKey(v any) int64 {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int64:
+		return x
+	case int32:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case uint:
+		return int64(x)
+	}
+	return -1
 }
 
 // RunItems is a convenience wrapper seeding a fresh worklist from a slice.

@@ -18,6 +18,7 @@ import (
 
 	"commlat/internal/core"
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 )
 
 // Effect is what executing a method invocation produced: its return value
@@ -99,6 +100,11 @@ type fwdPlan struct {
 	indexed   bool
 	pureDiseq bool
 	probePost bool
+
+	// m1id/m2id are the pair's method IDs in the telemetry detector's
+	// label vocabulary, compiled here so attribution on the hot path is
+	// an array-indexed atomic add, never a map lookup.
+	m1id, m2id uint16
 }
 
 // pairCheck names an active-side method whose pairs with the incoming
@@ -140,12 +146,13 @@ type Forward struct {
 	byFirst map[string][]pairCheck
 	slots   map[string][]*keySlot[*entry] // disequality key slots per method
 
+	tele *telemetry.Detector // attribution counters (method vocabulary)
+
 	mu       sync.Mutex
 	active   map[string][]*entry // active invocations, indexed by method
 	nActive  int
 	byTx     map[*engine.Tx][]*entry // each tx's own active entries, for O(own) release
 	txLists  [][]*entry              // recycled byTx slices
-	stats    Stats
 	probeGen uint64
 
 	// per-Invoke scratch, reused under mu to keep the hot path
@@ -216,13 +223,14 @@ func NewForwardConfig(spec *core.Spec, res core.StateFn, cfg Config) (*Forward, 
 	}
 	logSlots := map[string]map[string]int{} // m1 -> term key -> log slot
 	names := spec.Sig.MethodNames()
-	for _, m1 := range names {
-		for _, m2 := range names {
+	g.tele = telemetry.Register("forward", spec.Sig.Name, names)
+	for i1, m1 := range names {
+		for i2, m2 := range names {
 			cond := spec.Cond(m1, m2)
 			if !core.IsOnlineCheckableWith(cond, spec.Pure) {
 				return nil, fmt.Errorf("gatekeeper: condition for (%s,%s) is not ONLINE-CHECKABLE: %s (use a general gatekeeper)", m1, m2, cond)
 			}
-			plan := &fwdPlan{cond: cond}
+			plan := &fwdPlan{cond: cond, m1id: uint16(i1), m2id: uint16(i2)}
 			switch cond.(type) {
 			case core.TrueCond:
 				plan.trivial = true
@@ -355,7 +363,7 @@ func cond2(p *fwdPlan) core.Cond { return p.cond }
 func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func() Effect) (core.Value, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.stats.Invocations++
+	g.tele.IncInvocation()
 
 	e := entryPool.Get().(*entry)
 	e.tx = tx
@@ -376,7 +384,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 			return core.Value{}, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
 		e.log[lf.slot] = v
-		g.stats.LogEntries++
+		g.tele.IncLogEntry()
 	}
 
 	// Pre-pass B: gather the commutativity checks this invocation owes.
@@ -424,7 +432,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 			return core.Value{}, fmt.Errorf("gatekeeper: evaluating %s for %s: %w", lf.ft, method, err)
 		}
 		e.log[lf.slot] = v
-		g.stats.LogEntries++
+		g.tele.IncLogEntry()
 	}
 
 	// Deferred probes: their key needs r2, which exists only now. Such
@@ -448,17 +456,17 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 			// Collision on a purely-disequality condition: some guard
 			// x = y holds, so the condition is false by construction.
 			undoNow()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			inv1 := p.e.inv
 			tx1 := p.e.tx.ID()
 			g.putEntry(e)
 			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
 				method, args, inv1.Method, inv1.Args, tx1)
 		}
-		g.stats.Checks++
+		g.tele.Check(p.plan.m1id, p.plan.m2id)
 		if p.plan.never {
 			undoNow()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			method1, tx1 := p.e.inv.Method, p.e.tx.ID()
 			g.putEntry(e)
 			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
@@ -475,7 +483,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		}
 		if !ok {
 			undoNow()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			inv1 := p.e.inv
 			tx1 := p.e.tx.ID()
 			g.putEntry(e)
@@ -491,6 +499,7 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	e.pos = len(g.active[method])
 	g.active[method] = append(g.active[method], e)
 	g.nActive++
+	g.tele.ObserveActive(g.nActive)
 	if es, seen := g.byTx[tx]; !seen {
 		tx.OnReleaser(g)
 		if n := len(g.txLists); n > 0 {
@@ -538,7 +547,7 @@ func (g *Forward) scanPair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pair
 	if len(entries) == 0 {
 		return nil
 	}
-	g.stats.FallbackScans++
+	g.tele.IncFallbackScan()
 	for _, ae := range entries {
 		if ae.tx == tx {
 			continue
@@ -559,7 +568,7 @@ func (g *Forward) scanPair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pair
 // and with it the whole condition. NaN keys collide conservatively —
 // NaN ≠ NaN holds under ValueEq — so they still run the checker.
 func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.PairEnv) error {
-	g.stats.Probes++
+	g.tele.IncProbe()
 	g.ctx = checkCtx{env: core.PairEnv{Inv2: e.inv, S1: g.res, S2: g.res}}
 	keys := g.probeKeys[:0]
 	for _, pk := range pc.plan.keys {
@@ -587,7 +596,7 @@ func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pai
 				continue
 			}
 			ae.gen = gen
-			g.stats.Collisions++
+			g.tele.IncCollision()
 			if err := g.queueCheck(ae, pc.plan, e.inv.Method, env, imm); err != nil {
 				return err
 			}
@@ -597,7 +606,7 @@ func (g *Forward) probePair(tx *engine.Tx, e *entry, pc pairCheck, env *core.Pai
 				continue
 			}
 			ae.gen = gen
-			g.stats.Collisions++
+			g.tele.IncCollision()
 			if err := g.queueCheck(ae, pc.plan, e.inv.Method, env, false); err != nil {
 				return err
 			}
@@ -711,11 +720,36 @@ func (g *Forward) ActiveInvocations() int {
 	return g.nActive
 }
 
-// Stats returns a snapshot of the gatekeeper's work counters.
+// conflict attributes one rejected invocation to the plan's method pair
+// and emits a trace event on the invoking transaction's worker track.
+func (g *Forward) conflict(tx *engine.Tx, plan *fwdPlan) {
+	g.tele.Conflict(plan.m1id, plan.m2id)
+	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), plan.m1id, plan.m2id)
+}
+
+// Stats returns a snapshot of the gatekeeper's work counters, assembled
+// from its telemetry detector.
 func (g *Forward) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return statsFromSnapshot(g.tele.Snapshot())
+}
+
+// Telemetry returns the gatekeeper's telemetry detector, whose snapshot
+// additionally attributes checks and conflicts per method pair.
+func (g *Forward) Telemetry() *telemetry.Detector { return g.tele }
+
+// statsFromSnapshot maps a telemetry detector snapshot onto the legacy
+// Stats shape.
+func statsFromSnapshot(s telemetry.DetectorSnapshot) Stats {
+	return Stats{
+		Invocations:   s.Invocations,
+		Checks:        s.Checks,
+		Conflicts:     s.Conflicts,
+		Rollbacks:     s.Rollbacks,
+		LogEntries:    s.LogEntries,
+		Probes:        s.Probes,
+		Collisions:    s.Collisions,
+		FallbackScans: s.FallbackScans,
+	}
 }
 
 // Sync runs f under the gatekeeper's structure mutex, for callers that

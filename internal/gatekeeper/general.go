@@ -7,6 +7,7 @@ import (
 
 	"commlat/internal/core"
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 )
 
 // GEffect is the result of executing a method invocation under a general
@@ -45,6 +46,10 @@ type genPlan struct {
 	keys      []indexKey[*gentry]
 	indexed   bool
 	pureDiseq bool
+
+	// m1id/m2id: pair method IDs in the telemetry vocabulary, compiled
+	// at construction so hot-path attribution never looks up a map.
+	m1id, m2id uint16
 }
 
 // gPairCheck names an active-side method whose pairs with the incoming
@@ -160,8 +165,9 @@ type General struct {
 	eLists   [][]*gentry              // recycled byTxE slices
 	jLists   [][]*jentry              // recycled byTxJ slices
 	hooked   map[*engine.Tx]bool
-	stats    Stats
 	probeGen uint64
+
+	tele *telemetry.Detector // attribution counters (method vocabulary)
 
 	// per-Invoke scratch, reused under mu
 	checks    []gpending
@@ -195,10 +201,11 @@ func NewGeneralConfig(spec *core.Spec, res core.StateFn, cfg Config) (*General, 
 		hooked:  map[*engine.Tx]bool{},
 	}
 	names := spec.Sig.MethodNames()
-	for _, m1 := range names {
-		for _, m2 := range names {
+	g.tele = telemetry.Register("general", spec.Sig.Name, names)
+	for i1, m1 := range names {
+		for i2, m2 := range names {
 			cond := spec.Cond(m1, m2)
-			plan := &genPlan{cond: cond}
+			plan := &genPlan{cond: cond, m1id: uint16(i1), m2id: uint16(i2)}
 			switch cond.(type) {
 			case core.TrueCond:
 				plan.trivial = true
@@ -272,7 +279,7 @@ func (g *General) slotFor(m1 string) func(x core.Term, extract termFn) *keySlot[
 func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func() GEffect) (core.Value, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.stats.Invocations++
+	g.tele.IncInvocation()
 
 	inv := core.Invocation{Method: method, Args: args}
 	seqPre := g.seq
@@ -288,6 +295,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		own = jentryPool.Get().(*jentry)
 		own.seq, own.tx, own.undo, own.redo = g.seq, tx, eff.Undo, eff.Redo
 		g.linkJournal(own)
+		g.tele.ObserveJournal(g.jLen)
 		g.byTxJ[tx] = g.appendJ(g.byTxJ[tx], own)
 	}
 
@@ -328,7 +336,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		if len(es) == 0 {
 			return
 		}
-		g.stats.FallbackScans++
+		g.tele.IncFallbackScan()
 		for _, ae := range es {
 			if ae.tx == tx {
 				continue
@@ -337,7 +345,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		}
 	}
 	probePair := func(pc gPairCheck) {
-		g.stats.Probes++
+		g.tele.IncProbe()
 		g.ctx = checkCtx{env: core.PairEnv{Inv2: inv, S1: g.res, S2: g.res}}
 		keys := g.probeKeys[:0]
 		for _, pk := range pc.plan.keys {
@@ -367,7 +375,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 					continue
 				}
 				ae.gen = gen
-				g.stats.Collisions++
+				g.tele.IncCollision()
 				queue(ae, pc.plan, imm)
 			}
 			for _, ae := range pk.slot.unkeyed {
@@ -375,7 +383,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 					continue
 				}
 				ae.gen = gen
-				g.stats.Collisions++
+				g.tele.IncCollision()
 				queue(ae, pc.plan, false)
 			}
 		}
@@ -389,7 +397,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	}
 
 	if len(needState) > 0 || needS2 {
-		g.stats.Rollbacks++
+		g.tele.IncRollback()
 		g.rollbackEval(inv, seqPre, needState, needS2)
 	}
 
@@ -410,14 +418,14 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		p := &g.checks[i]
 		if p.immediate {
 			undoOwn()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
 				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
 		}
-		g.stats.Checks++
+		g.tele.Check(p.plan.m1id, p.plan.m2id)
 		if p.plan.never {
 			undoOwn()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			return eff.Ret, engine.Conflict("gatekeeper: %s never commutes with active %s (tx %d)",
 				method, p.e.inv.Method, p.e.tx.ID())
 		}
@@ -431,7 +439,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 		}
 		if !ok {
 			undoOwn()
-			g.stats.Conflicts++
+			g.conflict(tx, p.plan)
 			return eff.Ret, engine.Conflict("gatekeeper: %s%v does not commute with active %s%v (tx %d)",
 				method, args, p.e.inv.Method, p.e.inv.Args, p.e.tx.ID())
 		}
@@ -444,6 +452,7 @@ func (g *General) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	g.active[method] = append(g.active[method], e)
 	g.byTxE[tx] = g.appendE(g.byTxE[tx], e)
 	g.nActive++
+	g.tele.ObserveActive(g.nActive)
 	if !g.hooked[tx] {
 		g.hooked[tx] = true
 		tx.OnUndoer(g)
@@ -678,12 +687,22 @@ func (g *General) ActiveInvocations() int {
 	return g.nActive
 }
 
-// Stats returns a snapshot of the gatekeeper's work counters.
-func (g *General) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+// conflict attributes one rejected invocation to the plan's method pair
+// and emits a trace event on the invoking transaction's worker track.
+func (g *General) conflict(tx *engine.Tx, plan *genPlan) {
+	g.tele.Conflict(plan.m1id, plan.m2id)
+	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), plan.m1id, plan.m2id)
 }
+
+// Stats returns a snapshot of the gatekeeper's work counters, assembled
+// from its telemetry detector.
+func (g *General) Stats() Stats {
+	return statsFromSnapshot(g.tele.Snapshot())
+}
+
+// Telemetry returns the gatekeeper's telemetry detector, whose snapshot
+// additionally attributes checks and conflicts per method pair.
+func (g *General) Telemetry() *telemetry.Detector { return g.tele }
 
 // JournalLen reports the number of journaled live mutations.
 func (g *General) JournalLen() int {

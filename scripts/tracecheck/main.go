@@ -1,0 +1,180 @@
+// Command tracecheck validates the JSONL event-trace schema emitted by
+// `commlat trace -json` (and -jsonl): one JSON object per line, with
+// the fields internal/telemetry's WriteJSONL documents. CI runs it on a
+// small boruvka workload so schema drift in the exporter fails the
+// build instead of silently breaking downstream tooling.
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck trace.jsonl
+//	commlat trace -app boruvka -json | go run ./scripts/tracecheck
+//	go run ./scripts/tracecheck -chrome trace.json
+//
+// It exits non-zero on empty input, malformed JSON, unknown event
+// kinds, missing required fields, or a non-monotonic timeline. With
+// -chrome it instead checks that the file is a Chrome trace_event
+// document: a JSON object whose traceEvents array is non-empty and
+// whose entries all carry a phase and a timestamp.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type event struct {
+	TS       *int64 `json:"ts_ns"`
+	Kind     string `json:"kind"`
+	Worker   *int   `json:"worker"`
+	Tx       uint64 `json:"tx"`
+	Item     *int64 `json:"item"`
+	Detector string `json:"detector"`
+	M1       string `json:"m1"`
+	M2       string `json:"m2"`
+	Epoch    *int64 `json:"epoch"`
+}
+
+var lifecycle = map[string]bool{"begin": true, "commit": true, "abort": true}
+
+func check(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		lineNo int
+		lastTS int64
+		counts = map[string]int{}
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			return fmt.Errorf("line %d: empty line", lineNo)
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var e event
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if e.TS == nil {
+			return fmt.Errorf("line %d: missing ts_ns", lineNo)
+		}
+		if *e.TS < 0 {
+			return fmt.Errorf("line %d: negative ts_ns %d", lineNo, *e.TS)
+		}
+		if *e.TS < lastTS {
+			return fmt.Errorf("line %d: ts_ns %d out of order (previous %d)", lineNo, *e.TS, lastTS)
+		}
+		lastTS = *e.TS
+		if e.Worker == nil {
+			return fmt.Errorf("line %d: missing worker", lineNo)
+		}
+		if *e.Worker < 0 {
+			return fmt.Errorf("line %d: negative worker %d", lineNo, *e.Worker)
+		}
+		switch {
+		case lifecycle[e.Kind]:
+			if e.Tx == 0 {
+				return fmt.Errorf("line %d: %s event without tx", lineNo, e.Kind)
+			}
+		case e.Kind == "conflict":
+			if e.Tx == 0 {
+				return fmt.Errorf("line %d: conflict event without tx", lineNo)
+			}
+			if e.Detector == "" || e.M1 == "" || e.M2 == "" {
+				return fmt.Errorf("line %d: conflict event needs detector, m1, m2", lineNo)
+			}
+		case e.Kind == "decision":
+			if e.Detector == "" || e.M1 == "" || e.M2 == "" {
+				return fmt.Errorf("line %d: decision event needs detector, m1, m2", lineNo)
+			}
+		default:
+			return fmt.Errorf("line %d: unknown kind %q", lineNo, e.Kind)
+		}
+		counts[e.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("no events: input is empty")
+	}
+	if counts["begin"] == 0 {
+		return fmt.Errorf("no begin events in %d lines", lineNo)
+	}
+	if counts["commit"] == 0 {
+		return fmt.Errorf("no commit events in %d lines", lineNo)
+	}
+	fmt.Printf("ok: %d events (%d begin, %d commit, %d abort, %d conflict, %d decision)\n",
+		lineNo, counts["begin"], counts["commit"], counts["abort"], counts["conflict"], counts["decision"])
+	return nil
+}
+
+// checkChrome validates the Chrome trace_event document shape: phases
+// are single characters, timestamps are present on every event, and
+// complete ("X") events carry durations.
+func checkChrome(r io.Reader) error {
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  *int     `json:"pid"`
+			TID  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	counts := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		if len(e.Ph) != 1 {
+			return fmt.Errorf("traceEvents[%d]: bad phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" && e.TS == nil {
+			return fmt.Errorf("traceEvents[%d]: missing ts", i)
+		}
+		if e.Ph == "X" && e.Dur == nil {
+			return fmt.Errorf("traceEvents[%d]: complete event missing dur", i)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("traceEvents[%d]: missing name", i)
+		}
+		counts[e.Ph]++
+	}
+	fmt.Printf("ok: %d chrome events (%d complete, %d instant, %d metadata)\n",
+		len(doc.TraceEvents), counts["X"], counts["i"], counts["M"])
+	return nil
+}
+
+func main() {
+	args := os.Args[1:]
+	validate := check
+	if len(args) > 0 && args[0] == "-chrome" {
+		validate = checkChrome
+		args = args[1:]
+	}
+	in := io.Reader(os.Stdin)
+	if len(args) > 0 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := validate(in); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: FAIL:", err)
+		os.Exit(1)
+	}
+}
