@@ -252,6 +252,7 @@ func BenchmarkDetectorAbslockRW(b *testing.B)         { bench.DetectorAbslockRW(
 func BenchmarkDetectorGlobalLock(b *testing.B)        { bench.DetectorGlobalLock(b) }
 func BenchmarkDetectorLiberalLock(b *testing.B)       { bench.DetectorLiberalLock(b) }
 func BenchmarkDetectorForwardGatekeeper(b *testing.B) { bench.DetectorForwardGatekeeper(b) }
+func BenchmarkDetectorCascadeGatekeeper(b *testing.B) { bench.DetectorCascadeGatekeeper(b) }
 func BenchmarkDetectorGeneralGatekeeper(b *testing.B) { bench.DetectorGeneralGatekeeper(b) }
 func BenchmarkDetectorUnionFindGeneric(b *testing.B)  { bench.DetectorUnionFindGeneric(b) }
 func BenchmarkDetectorUnionFindML(b *testing.B)       { bench.DetectorUnionFindML(b) }
@@ -261,10 +262,21 @@ func BenchmarkDetectorUnionFindML(b *testing.B)       { bench.DetectorUnionFindM
 func BenchmarkDetectorForwardGatekeeperTraced(b *testing.B) {
 	bench.DetectorForwardGatekeeperTraced(b)
 }
+func BenchmarkDetectorCascadeGatekeeperTraced(b *testing.B) {
+	bench.DetectorCascadeGatekeeperTraced(b)
+}
 func BenchmarkDetectorGeneralGatekeeperTraced(b *testing.B) {
 	bench.DetectorGeneralGatekeeperTraced(b)
 }
 func BenchmarkTelemetryEmit(b *testing.B) { bench.TelemetryEmit(b) }
+
+// BenchmarkCascadeSlowPath forces every op through all three cascade
+// stages (filter hit → optimistic scan → precise check).
+func BenchmarkCascadeSlowPath(b *testing.B) { bench.CascadeSlowPath(b) }
+
+// BenchmarkForwardScanFallback isolates the forward gatekeeper's
+// scan-fallback path (a pair condition the disequality index rejects).
+func BenchmarkForwardScanFallback(b *testing.B) { bench.ForwardScanFallback(b) }
 
 func BenchmarkSynthesize(b *testing.B) {
 	spec := flowgraph.RWSpec()
@@ -391,6 +403,17 @@ func BenchmarkForwardIndexed(b *testing.B) {
 				bench.ForwardWindow(b, mode.disable, w)
 			})
 		}
+	}
+}
+
+// BenchmarkCascadeIndexed is ForwardIndexed's window sweep under the
+// cascade: the incoming key's filter cell stays empty, so cost is flat
+// in the window and no per-invocation lock is ever taken.
+func BenchmarkCascadeIndexed(b *testing.B) {
+	for _, w := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			bench.CascadeWindow(b, w)
+		})
 	}
 }
 

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,7 @@ func main() {
 	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
 	listen := global.String("listen", "", "serve live telemetry (/metrics, /debug/telemetry, /debug/vars) on this address for the run's duration")
+	telemetryOut := global.String("telemetry-out", "", "write a final telemetry snapshot (JSON, cascade stage counters included) to this file on exit")
 	if err := global.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -91,6 +93,12 @@ func main() {
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
+	if *telemetryOut != "" {
+		if werr := writeTelemetrySnapshot(*telemetryOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "commlat:", werr)
+			os.Exit(1)
+		}
+	}
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
 		if ferr != nil {
@@ -108,6 +116,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "commlat:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTelemetrySnapshot dumps the default registry's counters — the
+// same JSON the /debug/telemetry endpoint serves — so batch runs can
+// keep per-stage cascade statistics without a live HTTP listener.
+func writeTelemetrySnapshot(path string) error {
+	data, err := json.MarshalIndent(telemetry.Default.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func dispatch(cmd string, args []string) error {
@@ -175,6 +194,10 @@ global flags (before the command):
   -listen ADDR      serve live telemetry over HTTP while the command runs
                     (/metrics Prometheus text, /debug/telemetry JSON,
                     /debug/vars expvar)
+  -telemetry-out FILE  write the final telemetry snapshot as JSON on exit
+                    (engine counters plus per-detector stats, cascade
+                    stage counters included; same schema as
+                    /debug/telemetry, checked by scripts/tracecheck)
 table1, table2, fig10-12, model, adaptive and bench also accept
 -cpuprofile/-memprofile after the command, scoping the profile to that
 command's measured work.
@@ -508,6 +531,7 @@ func cmdAdaptive(args []string) error {
 	epoch := fs.Int("epoch", 5000, "epoch size")
 	window := fs.Int("window", 4, "overlap window (threads)")
 	seed := fs.Int64("seed", 1, "stream seed")
+	start := fs.String("start", "", "starting rung by name (default: the bottom of the ladder)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -516,8 +540,25 @@ func cmdAdaptive(args []string) error {
 		return err
 	}
 	ladder := adaptive.DefaultLadder()
+	startRung := 0
+	if *start != "" {
+		startRung = -1
+		for i, r := range ladder {
+			if r.Name == *start {
+				startRung = i
+				break
+			}
+		}
+		if startRung < 0 {
+			names := make([]string, len(ladder))
+			for i, r := range ladder {
+				names[i] = r.Name
+			}
+			return fmt.Errorf("unknown rung %q (ladder: %s)", *start, strings.Join(names, ", "))
+		}
+	}
 	stream := workload.SetOpsClasses(*ops, *classes, *seed)
-	trace, err := adaptive.Run(ladder, stream, *epoch, *window, 0)
+	trace, err := adaptive.Run(ladder, stream, *epoch, *window, startRung)
 	if perr := prof.stop(); err == nil {
 		err = perr
 	}

@@ -52,6 +52,7 @@ type stripe struct {
 	free      []*dlock
 	freeHeld  [][]datumKey // recycled per-tx held-key lists
 	freeSlots [][]dslot    // recycled collision-bucket backing arrays
+	mgr       *Manager     // back-pointer for the shared prefilter
 	_         [24]byte
 }
 
@@ -88,6 +89,11 @@ type Manager struct {
 
 	mask    uint32
 	stripes []stripe
+
+	// fast is the pre-stripe conflict-signature prefilter (see
+	// prefilter.go): plans free of ds-lock acquisitions whose datum
+	// cells are unoccupied take their locks without a stripe mutex.
+	fast *fastTable
 
 	tele *telemetry.Detector // mode-acquisition counters (mode vocabulary)
 
@@ -141,7 +147,9 @@ func newManagerWithStripes(scheme *Scheme, keys map[string]KeyFunc, n int) *Mana
 	for i := range m.stripes {
 		m.stripes[i].data = map[uint64][]dslot{}
 		m.stripes[i].held = map[*engine.Tx][]datumKey{}
+		m.stripes[i].mgr = m
 	}
+	m.fast = newFastTable(defaultFastSlots, 0)
 	for i := range scheme.Modes {
 		var mask uint64
 		for j := range scheme.Modes {
@@ -244,6 +252,15 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret co
 		for j := i; j > 0 && plan[j].sidx < plan[j-1].sidx; j-- {
 			plan[j], plan[j-1] = plan[j-1], plan[j]
 		}
+	}
+	// Stage 1: plans free of ds-lock acquisitions try the lock-free
+	// prefilter first; a miss on every planned cell takes the locks
+	// without touching a stripe.
+	if len(plan) > 0 && len(plan) <= len(buf) && plan[0].sidx >= 0 {
+		if m.tryAcquire(tx, plan) {
+			return nil
+		}
+		m.tele.CascadeFilterHit()
 	}
 	for i := 0; i < len(plan); {
 		if plan[i].sidx < 0 {
@@ -394,6 +411,13 @@ func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk *datumKey, mode i
 		s.insert(dk, l)
 		fresh = true
 	}
+	var prevModes uint64
+	for i := range l.holders {
+		if l.holders[i].tx == tx {
+			prevModes = l.holders[i].modes
+			break
+		}
+	}
 	isNew, err := m.lockModes(tx, l, mode)
 	if err != nil {
 		if fresh {
@@ -403,6 +427,11 @@ func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk *datumKey, mode i
 		return err
 	}
 	if isNew {
+		// Publish the hold into the shared prefilter before scanning
+		// for fast-path holders: a concurrent fast acquirer either sees
+		// this increment and diverts to the stripes, or published its
+		// slot early enough for the scan below to find it.
+		m.fast.filter.Add(dk.h)
 		if lst, hooked := s.held[tx]; !hooked {
 			if n := len(s.freeHeld); n > 0 {
 				lst = s.freeHeld[n-1]
@@ -415,7 +444,41 @@ func (m *Manager) acquireInStripe(s *stripe, tx *engine.Tx, dk *datumKey, mode i
 			s.held[tx] = append(lst, *dk)
 		}
 	}
+	if err := m.conflictScan(tx, dk, mode); err != nil {
+		// The scan found a conflicting fast-path holder: take back the
+		// hold recorded above so a refused acquisition leaves nothing
+		// behind — exactly as a lockModes refusal leaves nothing behind.
+		m.retractStripeAcq(s, tx, dk, l, isNew, prevModes)
+		return err
+	}
 	return nil
+}
+
+// retractStripeAcq undoes one just-recorded stripe acquisition after its
+// fast-table conflict scan refused it. For a brand-new holder the holder
+// record, held-list entry, and filter increment all go; for a mode
+// upgrade the holder's mode mask reverts. Must run with s.mu held.
+func (m *Manager) retractStripeAcq(s *stripe, tx *engine.Tx, dk *datumKey, l *dlock, isNew bool, prevModes uint64) {
+	if !isNew {
+		for i := range l.holders {
+			if l.holders[i].tx == tx {
+				l.holders[i].modes = prevModes
+				break
+			}
+		}
+		return
+	}
+	dropHolder(l, tx)
+	m.fast.filter.Remove(dk.h)
+	if lst := s.held[tx]; len(lst) > 0 {
+		n := len(lst) - 1
+		lst[n] = datumKey{}
+		s.held[tx] = lst[:n]
+	}
+	if len(l.holders) == 0 {
+		s.remove(dk)
+		s.recycle(l)
+	}
 }
 
 // lockModes adds mode to tx's hold on l, reporting whether tx is a new
@@ -471,6 +534,7 @@ func (s *stripe) ReleaseTx(tx *engine.Tx) {
 		dk := &lst[i]
 		if l := s.lookup(dk); l != nil {
 			dropHolder(l, tx)
+			s.mgr.fast.filter.Remove(dk.h)
 			if len(l.holders) == 0 {
 				s.remove(dk)
 				s.recycle(l)
@@ -519,10 +583,10 @@ func dropHolder(l *dlock, tx *engine.Tx) {
 	}
 }
 
-// HeldLocks reports how many distinct data locks are currently held (for
-// tests and diagnostics).
+// HeldLocks reports how many distinct data locks are currently held,
+// fast-path holds included (for tests and diagnostics).
 func (m *Manager) HeldLocks() int {
-	n := 0
+	n := int(m.fast.nLive.Load())
 	for i := range m.stripes {
 		s := &m.stripes[i]
 		s.mu.Lock()

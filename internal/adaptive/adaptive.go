@@ -95,7 +95,9 @@ type Rung struct {
 // DefaultLadder is the set's lattice ladder in permissiveness order:
 // global lock (⊥), exclusive element locks, read/write element locks
 // (figure 3), liberal guarded locks (figure 2 via the footnote-6
-// extension), forward gatekeeper (figure 2).
+// extension), forward gatekeeper (figure 2), and the gatekeeper behind
+// the cascade's signature filter and optimistic index — same verdicts
+// as the gatekeeper rung, cheaper admissions under low contention.
 func DefaultLadder() []Rung {
 	seed := func(s intset.Set, elems []int64) intset.Set {
 		tx := engine.NewTx()
@@ -113,6 +115,7 @@ func DefaultLadder() []Rung {
 		{Name: "rw", Make: func(e []int64) intset.Set { return seed(intset.NewRWLocked(intset.NewHashRep()), e) }},
 		{Name: "liberal", Make: func(e []int64) intset.Set { return seed(intset.NewLiberalLocked(intset.NewHashRep()), e) }},
 		{Name: "gatekeeper", Make: func(e []int64) intset.Set { return seed(intset.NewGatekept(intset.NewHashRep()), e) }},
+		{Name: "cascade", Make: func(e []int64) intset.Set { return seed(intset.NewCascaded(intset.NewHashRep()), e) }},
 	}
 }
 

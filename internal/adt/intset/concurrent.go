@@ -219,7 +219,98 @@ func (s *GatekeptSet) Snapshot() []int64 {
 	return out
 }
 
+// CascadeSet guards a representation with the lattice-cascade detector
+// built from the same precise specification as GatekeptSet. The
+// detector takes no lock at all on the disjoint-element fast path — a
+// signature-filter miss admits the invocation after the effect ran —
+// so the representation is protected by the set's own mutex inside the
+// exec closure (the forward gatekeeper's detector-wide mutex did both
+// jobs at once; here detection and representation locking decouple).
+type CascadeSet struct {
+	c   *gatekeeper.Cascade
+	mu  sync.Mutex
+	rep Rep
+}
+
+// NewCascaded builds the cascade-guarded set over rep.
+func NewCascaded(rep Rep) *CascadeSet {
+	return NewCascadedConfig(rep, gatekeeper.CascadeConfig{})
+}
+
+// NewCascadedConfig is NewCascaded with explicit cascade configuration
+// (tests use small slot tables to exercise the overflow path).
+func NewCascadedConfig(rep Rep, cfg gatekeeper.CascadeConfig) *CascadeSet {
+	c, err := gatekeeper.NewCascadeConfig(PreciseSpec(), nil, cfg)
+	if err != nil {
+		panic(err) // the precise set spec is log-free, hence cascadable
+	}
+	return &CascadeSet{c: c, rep: rep}
+}
+
+func (s *CascadeSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
+	ret, err := s.c.Invoke(tx, method, core.Args1(core.VInt(x)), func() gatekeeper.Effect {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch method {
+		case "add":
+			if s.rep.Add(x) {
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() {
+					s.mu.Lock()
+					s.rep.Remove(x)
+					s.mu.Unlock()
+				}}
+			}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		case "remove":
+			if s.rep.Remove(x) {
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() {
+					s.mu.Lock()
+					s.rep.Add(x)
+					s.mu.Unlock()
+				}}
+			}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		default:
+			return gatekeeper.Effect{Ret: core.VBool(s.rep.Contains(x))}
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return ret.Bool(), nil
+}
+
+// Add inserts x under the cascade; it reports whether the set changed.
+func (s *CascadeSet) Add(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "add", x) }
+
+// Remove deletes x under the cascade.
+func (s *CascadeSet) Remove(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "remove", x) }
+
+// Contains queries membership under the cascade.
+func (s *CascadeSet) Contains(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "contains", x)
+}
+
+// GateStats returns the cascade's work counters (stage counters
+// included).
+func (s *CascadeSet) GateStats() gatekeeper.Stats { return s.c.Stats() }
+
+// Telemetry returns the cascade's telemetry detector.
+func (s *CascadeSet) Telemetry() *telemetry.Detector { return s.c.Telemetry() }
+
+// Cascade exposes the underlying detector (tests use it to inspect
+// active-window drainage).
+func (s *CascadeSet) Cascade() *gatekeeper.Cascade { return s.c }
+
+// Snapshot returns the elements; only safe with no live transactions.
+func (s *CascadeSet) Snapshot() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep.Elems()
+}
+
 var (
 	_ Set = (*LockedSet)(nil)
 	_ Set = (*GatekeptSet)(nil)
+	_ Set = (*CascadeSet)(nil)
 )

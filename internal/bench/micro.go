@@ -40,19 +40,30 @@ func Micros() []Micro {
 		{"DetectorGlobalLock", DetectorGlobalLock},
 		{"DetectorLiberalLock", DetectorLiberalLock},
 		{"DetectorForwardGatekeeper", DetectorForwardGatekeeper},
+		{"DetectorCascadeGatekeeper", DetectorCascadeGatekeeper},
 		{"DetectorGeneralGatekeeper", DetectorGeneralGatekeeper},
 		{"DetectorUnionFindGeneric", DetectorUnionFindGeneric},
 		{"DetectorUnionFindML", DetectorUnionFindML},
 		{"CondEval", CondEval},
 		{"DetectorForwardGatekeeper/traced", DetectorForwardGatekeeperTraced},
+		{"DetectorCascadeGatekeeper/traced", DetectorCascadeGatekeeperTraced},
 		{"DetectorGeneralGatekeeper/traced", DetectorGeneralGatekeeperTraced},
 		{"TelemetryEmit", TelemetryEmit},
+		{"CascadeSlowPath", CascadeSlowPath},
+		{"ForwardScanFallback", ForwardScanFallback},
 	}
 	for _, w := range []int{64, 512, 4096} {
 		w := w
 		ms = append(ms, Micro{
 			Name: fmt.Sprintf("ForwardIndexed/indexed/window=%d", w),
 			F:    func(b *testing.B) { ForwardWindow(b, false, w) },
+		})
+	}
+	for _, w := range []int{64, 512, 4096} {
+		w := w
+		ms = append(ms, Micro{
+			Name: fmt.Sprintf("CascadeIndexed/window=%d", w),
+			F:    func(b *testing.B) { CascadeWindow(b, w) },
 		})
 	}
 	for _, w := range []int{64, 512, 4096} {
@@ -104,6 +115,14 @@ func DetectorForwardGatekeeper(b *testing.B) {
 	benchSetAdd(b, intset.NewGatekept(intset.NewHashRep()))
 }
 
+// DetectorCascadeGatekeeper: the lattice cascade running figure 2's
+// precise set spec. The steady state is disjoint-key, so nearly every
+// iteration is a stage-1 signature-filter admission with zero locks
+// taken by the detector.
+func DetectorCascadeGatekeeper(b *testing.B) {
+	benchSetAdd(b, intset.NewCascaded(intset.NewHashRep()))
+}
+
 func benchUnionFind(b *testing.B, uf unionfind.Sets) {
 	b.Helper()
 	b.ReportAllocs()
@@ -143,6 +162,14 @@ func DetectorForwardGatekeeperTraced(b *testing.B) {
 	telemetry.EnableTrace(1<<12, 1)
 	defer telemetry.DisableTrace()
 	benchSetAdd(b, intset.NewGatekept(intset.NewHashRep()))
+}
+
+// DetectorCascadeGatekeeperTraced is DetectorCascadeGatekeeper with the
+// telemetry event trace enabled (unsampled).
+func DetectorCascadeGatekeeperTraced(b *testing.B) {
+	telemetry.EnableTrace(1<<12, 1)
+	defer telemetry.DisableTrace()
+	benchSetAdd(b, intset.NewCascaded(intset.NewHashRep()))
 }
 
 // DetectorGeneralGatekeeperTraced is DetectorGeneralGatekeeper with the
@@ -244,6 +271,120 @@ func GeneralSetWindow(b *testing.B, disable bool, window int) {
 		k := base | int64(n&8191)
 		if _, err := g.Invoke(tx, "add", core.Args1(core.VInt(k)), func() gatekeeper.GEffect {
 			return gatekeeper.GEffect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// CascadeWindow measures one cascade-guarded add against `window`
+// active adds on distinct keys: the incoming key's filter cell is
+// empty, so every iteration is a stage-1 admission regardless of the
+// window size — the cascade's answer to ForwardWindow.
+func CascadeWindow(b *testing.B, window int) {
+	b.Helper()
+	c, err := gatekeeper.NewCascade(intset.PreciseSpec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := c.Invoke(holder, "add", core.Args1(core.VInt(-i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.GetTx()
+		k := base | int64(n&8191)
+		if _, err := c.Invoke(tx, "add", core.Args1(core.VInt(k)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// CascadeSlowPath forces every iteration through all three cascade
+// stages: the incoming add reuses a key held by an active add, so the
+// filter hits, the optimistic bucket scan surfaces the holder's slot,
+// and the precise checker admits (both adds returned false).
+func CascadeSlowPath(b *testing.B) {
+	c, err := gatekeeper.NewCascade(intset.PreciseSpec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	const window = 64
+	for i := int64(0); i < window; i++ {
+		if _, err := c.Invoke(holder, "add", core.Args1(core.VInt(i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.GetTx()
+		if _, err := c.Invoke(tx, "add", core.Args1(core.VInt(int64(n)%window)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		}); err != nil {
+			b.Error(err)
+		}
+		tx.Commit()
+		engine.PutTx(tx)
+	}
+}
+
+// scanFallbackSpec is a specification whose pair condition is ordered
+// (Lt), which the disequality decomposition cannot index: every check
+// takes the forward gatekeeper's scan-fallback path.
+func scanFallbackSpec() *core.Spec {
+	sig := &core.ADTSig{Name: "ordered", Methods: []core.MethodSig{
+		{Name: "op", Params: []string{"x"}, HasRet: true},
+	}}
+	s := core.NewSpec(sig)
+	s.Set("op", "op", core.Lt(core.Arg1(0), core.Arg2(0)))
+	return s
+}
+
+// ForwardScanFallback measures one forward-gatekept invocation whose
+// pair condition misses the disequality index: 64 active entries are
+// scanned and precisely checked per op — the cost the index normally
+// avoids, isolated.
+func ForwardScanFallback(b *testing.B) {
+	g, err := gatekeeper.NewForward(scanFallbackSpec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	const window = 64
+	for i := int64(0); i < window; i++ {
+		if _, err := g.Invoke(holder, "op", core.Args1(core.VInt(i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := int64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		tx := engine.GetTx()
+		if _, err := g.Invoke(tx, "op", core.Args1(core.VInt(base+int64(n&1023))), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
 		}); err != nil {
 			b.Error(err)
 		}

@@ -57,6 +57,13 @@ type Releaser interface {
 	ReleaseTx(tx *Tx)
 }
 
+// attachment is one detector-owned word of per-transaction storage
+// (see Tx.Attach).
+type attachment struct {
+	owner any
+	word  uint64
+}
+
 // txHook is one registered undo or release action: either a closure or
 // an interface target. Exactly one of fn/u/r is set.
 type txHook struct {
@@ -88,6 +95,7 @@ type Tx struct {
 	id      uint64
 	undo    []txHook
 	release []txHook
+	attach  []attachment
 	status  Status
 	worker  int32 // executor worker running this tx (0 when hand-driven)
 	item    int64 // traced work-item key (-1 when unknown)
@@ -143,6 +151,31 @@ func (tx *Tx) SetItem(item int64) { tx.item = item }
 // Status returns the transaction's lifecycle state.
 func (tx *Tx) Status() Status { return tx.status }
 
+// Attach returns the per-transaction storage word owned by owner,
+// creating it zeroed on first use (isNew reports creation). Detectors
+// that keep per-transaction state in their own lock-free storage — the
+// cascade's slot table, the lock manager's fast hold slots — use the
+// word to thread an intrusive chain head through that storage, so
+// ending the transaction releases everything it published in one O(own)
+// walk with no per-record hook registrations, and the signature
+// retractions batch at commit instead of paying a fence per record.
+//
+// The returned pointer is invalidated by the next Attach call on the
+// same transaction with a different owner (the backing array may move):
+// read or write it immediately and re-Attach when needed. Like the rest
+// of Tx, attachments may only be touched from the goroutine driving the
+// transaction. Words survive until the transaction's hooks have run
+// (release hooks may still read them) and are cleared before pooling.
+func (tx *Tx) Attach(owner any) (word *uint64, isNew bool) {
+	for i := range tx.attach {
+		if tx.attach[i].owner == owner {
+			return &tx.attach[i].word, false
+		}
+	}
+	tx.attach = append(tx.attach, attachment{owner: owner})
+	return &tx.attach[len(tx.attach)-1].word, true
+}
+
 // OnUndo registers an inverse action to run (in LIFO order) if the
 // transaction aborts. Data structure wrappers call this after every
 // successful mutating invocation.
@@ -179,6 +212,7 @@ func (tx *Tx) Commit() {
 	tx.status = Committed
 	tx.runRelease()
 	clearHooks(&tx.undo)
+	clearAttach(&tx.attach)
 	telemetry.TxCommit(int(tx.worker), tx.id, tx.item)
 }
 
@@ -192,6 +226,7 @@ func (tx *Tx) Abort() {
 	}
 	clearHooks(&tx.undo)
 	tx.runRelease()
+	clearAttach(&tx.attach)
 	telemetry.TxAbort(int(tx.worker), tx.id, tx.item)
 }
 
@@ -211,6 +246,17 @@ func clearHooks(hs *[]txHook) {
 		s[i] = txHook{}
 	}
 	*hs = s[:0]
+}
+
+// clearAttach empties the attachment list but keeps its capacity,
+// zeroing every entry so pooled transactions retain no detector
+// references across iterations.
+func clearAttach(at *[]attachment) {
+	s := *at
+	for i := range s {
+		s[i] = attachment{}
+	}
+	*at = s[:0]
 }
 
 func (tx *Tx) mustBeActive() {

@@ -196,6 +196,18 @@ type Stats struct {
 	Probes        uint64
 	Collisions    uint64
 	FallbackScans uint64
+
+	// Cascade pipeline effectiveness (cascade detectors only): how far
+	// down the filter pipeline invocations fell. FastAdmits counts
+	// stage-1 lock-free admissions, FilterHits signature hits that
+	// reached the optimistic path, OptScans/OptRetries the lock-free
+	// chain scans and their version-stamp races, CascadeFallbacks
+	// trips through the mutex-guarded overflow path.
+	FastAdmits       uint64
+	FilterHits       uint64
+	OptScans         uint64
+	OptRetries       uint64
+	CascadeFallbacks uint64
 }
 
 // NewForward constructs a forward gatekeeper for spec guarding a
@@ -749,6 +761,12 @@ func statsFromSnapshot(s telemetry.DetectorSnapshot) Stats {
 		Probes:        s.Probes,
 		Collisions:    s.Collisions,
 		FallbackScans: s.FallbackScans,
+
+		FastAdmits:       s.FastAdmits,
+		FilterHits:       s.FilterHits,
+		OptScans:         s.OptScans,
+		OptRetries:       s.OptRetries,
+		CascadeFallbacks: s.CascadeFallbacks,
 	}
 }
 

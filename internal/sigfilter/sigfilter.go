@@ -1,0 +1,115 @@
+// Package sigfilter implements the conflict-signature prefilter of the
+// lattice cascade: a fixed-size table of atomic reference counters
+// indexed by key hash. Active invocations (and lock holds) publish the
+// 64-bit hashes of their conflict keys by incrementing cells; an
+// incoming operation probes the cells of its own keys, and a probe that
+// finds only its own contribution proves no concurrent operation has
+// published a possibly-equal key. The filter is the weakest, cheapest
+// point of the commutativity lattice: it only ever over-approximates
+// conflicts (distinct keys may share a cell, but equal keys never map
+// to different cells), so a miss is a sound zero-lock admission and a
+// hit merely falls through to a more precise detector.
+//
+// Soundness under concurrency relies on a publish-then-probe protocol:
+// every participant increments its own cells before reading anyone
+// else's. Go guarantees sequential consistency for the atomic
+// operations involved, so of two racing operations with colliding keys
+// at least one observes the other's publication — they cannot both be
+// admitted by the filter.
+package sigfilter
+
+import "sync/atomic"
+
+// DefaultBits sizes filters at 1<<16 cells (256 KiB of counters),
+// keeping the per-probe false-hit probability under ~2% with a
+// thousand keys published.
+const DefaultBits = 16
+
+// Filter is the counting signature table. The zero value is unusable;
+// use New.
+type Filter struct {
+	mask  uint64
+	cells []atomic.Int32
+}
+
+// New creates a filter with 1<<bits cells. Bits are clamped to [6, 24].
+func New(bits int) *Filter {
+	if bits < 6 {
+		bits = 6
+	}
+	if bits > 24 {
+		bits = 24
+	}
+	return &Filter{
+		mask:  uint64(1)<<bits - 1,
+		cells: make([]atomic.Int32, 1<<bits),
+	}
+}
+
+// Add publishes one key hash.
+func (f *Filter) Add(h uint64) { f.cells[h&f.mask].Add(1) }
+
+// Remove retracts one published key hash.
+func (f *Filter) Remove(h uint64) { f.cells[h&f.mask].Add(-1) }
+
+// Count returns the number of publications currently in h's cell — the
+// probe. A prober that has itself published must subtract its own
+// contribution to the cell before interpreting the count.
+func (f *Filter) Count(h uint64) int32 { return f.cells[h&f.mask].Load() }
+
+// SameCell reports whether two hashes land in the same cell: the
+// granularity at which the filter confuses distinct keys, and the
+// predicate a prober uses to count its own contribution.
+func (f *Filter) SameCell(a, b uint64) bool { return a&f.mask == b&f.mask }
+
+// Stack is a lock-free Treiber stack of slot indices, used by the
+// cascade detectors to manage their fixed slot tables. The head word
+// packs a 32-bit ABA tag with the top index; the stack threads through
+// a caller-provided next-link array indexed by slot. Indices are
+// stored +1 so the zero word means empty.
+type Stack struct {
+	head atomic.Uint64
+	next []atomic.Uint32
+}
+
+// NewStack creates a stack able to hold slot indices [0, capacity),
+// initially containing all of them in ascending pop order.
+func NewStack(capacity int) *Stack {
+	s := &Stack{next: make([]atomic.Uint32, capacity)}
+	for i := capacity - 1; i >= 0; i-- {
+		s.Push(uint32(i))
+	}
+	return s
+}
+
+// Push returns a slot index to the stack. The caller must own the slot
+// (a slot may be in the stack at most once).
+func (s *Stack) Push(idx uint32) {
+	for {
+		old := s.head.Load()
+		s.next[idx].Store(uint32(old))
+		neu := (old>>32+1)<<32 | uint64(idx+1)
+		if s.head.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns a slot index, or ok=false when empty. A
+// successful Pop transfers exclusive ownership of the slot to the
+// caller; the tag in the head word prevents ABA against concurrent
+// push/pop pairs.
+func (s *Stack) Pop() (idx uint32, ok bool) {
+	for {
+		old := s.head.Load()
+		top := uint32(old)
+		if top == 0 {
+			return 0, false
+		}
+		nxt := s.next[top-1].Load()
+		neu := (old>>32+1)<<32 | uint64(nxt)
+		if s.head.CompareAndSwap(old, neu) {
+			return top - 1, true
+		}
+	}
+}

@@ -218,6 +218,10 @@ func FormatAttribution(s Snapshot) string {
 			fmt.Fprintf(&b, "; index %d probes, %d collisions, %d fallback scans",
 				d.Probes, d.Collisions, d.FallbackScans)
 		}
+		if d.FastAdmits > 0 || d.FilterHits > 0 || d.CascadeFallbacks > 0 {
+			fmt.Fprintf(&b, "; cascade %d fast admits, %d filter hits, %d opt scans, %d retries, %d fallbacks",
+				d.FastAdmits, d.FilterHits, d.OptScans, d.OptRetries, d.CascadeFallbacks)
+		}
 		if d.Rollbacks > 0 {
 			fmt.Fprintf(&b, "; %d rollbacks", d.Rollbacks)
 		}
@@ -303,6 +307,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("commlat_detector_index_probes_total", "Disequality-index probes.", func(d DetectorSnapshot) uint64 { return d.Probes })
 	counter("commlat_detector_index_collisions_total", "Entries surfaced by probes.", func(d DetectorSnapshot) uint64 { return d.Collisions })
 	counter("commlat_detector_index_fallback_scans_total", "Full active-list scans.", func(d DetectorSnapshot) uint64 { return d.FallbackScans })
+	counter("commlat_cascade_fast_admits_total", "Invocations admitted by the signature filter alone.", func(d DetectorSnapshot) uint64 { return d.FastAdmits })
+	counter("commlat_cascade_filter_hits_total", "Signature-filter hits that fell through to the optimistic path.", func(d DetectorSnapshot) uint64 { return d.FilterHits })
+	counter("commlat_cascade_opt_scans_total", "Optimistic lock-free chain scans.", func(d DetectorSnapshot) uint64 { return d.OptScans })
+	counter("commlat_cascade_opt_retries_total", "Version-stamp races retried on the optimistic path.", func(d DetectorSnapshot) uint64 { return d.OptRetries })
+	counter("commlat_cascade_fallbacks_total", "Invocations through the mutex-guarded overflow path.", func(d DetectorSnapshot) uint64 { return d.CascadeFallbacks })
 
 	p("# HELP commlat_detector_active_high_water Peak active-log size.\n# TYPE commlat_detector_active_high_water gauge\n")
 	for _, d := range s.Detectors {

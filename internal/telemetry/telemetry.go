@@ -80,6 +80,14 @@ type Detector struct {
 	activeHW    atomic.Int64 // active-log size high-water mark
 	journalHW   atomic.Int64 // journal length high-water mark
 
+	// Cascade stage counters (lattice-cascade detectors only): how far
+	// down the filter pipeline each invocation had to fall.
+	fastAdmits  atomic.Uint64 // stage 1: signature-filter misses admitted lock-free
+	filterHits  atomic.Uint64 // stage 1 hits that fell through to stage 2
+	optScans    atomic.Uint64 // stage 2: optimistic lock-free bucket/chain scans
+	optRetries  atomic.Uint64 // stage 2: version-stamp races retried or re-pinned
+	cascadeSlow atomic.Uint64 // stage 3 fallbacks through the overflow mutex path
+
 	pairChecks    []atomic.Uint64 // n*n, by (first, second) label ID
 	pairConflicts []atomic.Uint64 // n*n
 	acquired      []atomic.Uint64 // n, per label (lock modes)
@@ -144,6 +152,26 @@ func (d *Detector) IncCollision() { d.collisions.Add(1) }
 
 // IncFallbackScan counts one full active-list scan.
 func (d *Detector) IncFallbackScan() { d.fallbacks.Add(1) }
+
+// CascadeFastAdmit counts one invocation admitted by the signature
+// filter alone (stage 1 miss, zero locks taken).
+func (d *Detector) CascadeFastAdmit() { d.fastAdmits.Add(1) }
+
+// CascadeFilterHit counts one signature-filter hit that fell through
+// to the optimistic read path.
+func (d *Detector) CascadeFilterHit() { d.filterHits.Add(1) }
+
+// CascadeScan counts one optimistic lock-free scan of a bucket or
+// method chain (stage 2).
+func (d *Detector) CascadeScan() { d.optScans.Add(1) }
+
+// CascadeRetry counts one version-stamp race on the optimistic read
+// path: a chain traversal restarted or a pin attempt respun.
+func (d *Detector) CascadeRetry() { d.optRetries.Add(1) }
+
+// CascadeFallback counts one invocation that took the mutex-guarded
+// overflow path (slot table exhausted or conflict keys unhashable).
+func (d *Detector) CascadeFallback() { d.cascadeSlow.Add(1) }
 
 // Check counts one pairwise commutativity evaluation of (first m1,
 // incoming m2), attributing it to the pair. The adaptive controller
@@ -251,6 +279,11 @@ type DetectorSnapshot struct {
 	Probes           uint64     `json:"probes,omitempty"`
 	Collisions       uint64     `json:"collisions,omitempty"`
 	FallbackScans    uint64     `json:"fallback_scans,omitempty"`
+	FastAdmits       uint64     `json:"cascade_fast_admits,omitempty"`
+	FilterHits       uint64     `json:"cascade_filter_hits,omitempty"`
+	OptScans         uint64     `json:"cascade_opt_scans,omitempty"`
+	OptRetries       uint64     `json:"cascade_opt_retries,omitempty"`
+	CascadeFallbacks uint64     `json:"cascade_fallbacks,omitempty"`
 	ActiveHighWater  int64      `json:"active_high_water,omitempty"`
 	JournalHighWater int64      `json:"journal_high_water,omitempty"`
 	Pairs            []PairStat `json:"pairs,omitempty"`
@@ -272,6 +305,11 @@ func (d *Detector) Snapshot() DetectorSnapshot {
 		Probes:           d.probes.Load(),
 		Collisions:       d.collisions.Load(),
 		FallbackScans:    d.fallbacks.Load(),
+		FastAdmits:       d.fastAdmits.Load(),
+		FilterHits:       d.filterHits.Load(),
+		OptScans:         d.optScans.Load(),
+		OptRetries:       d.optRetries.Load(),
+		CascadeFallbacks: d.cascadeSlow.Load(),
 		ActiveHighWater:  d.activeHW.Load(),
 		JournalHighWater: d.journalHW.Load(),
 	}

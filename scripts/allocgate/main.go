@@ -10,8 +10,8 @@
 //
 // Usage (as CI runs it):
 //
-//	go run ./cmd/commlat bench -json -q -o BENCH_detectors.json
-//	go run ./scripts/allocgate
+//	go run ./cmd/commlat bench -json -q -o BENCH_fresh.json
+//	go run ./scripts/allocgate -report BENCH_fresh.json
 package main
 
 import (

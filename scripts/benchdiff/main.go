@@ -1,0 +1,101 @@
+// Command benchdiff is the CI timing-regression gate: it compares a
+// freshly measured benchmark report (`commlat bench -json -o
+// BENCH_fresh.json`) against the committed baseline BENCH_detectors.json
+// and exits non-zero if any benchmark present in both slowed down by
+// more than the tolerance.
+//
+// The tolerance is deliberately loose (15% plus an absolute floor) —
+// shared CI runners are noisy — so a failure means a real regression on
+// a detector hot path, not jitter. Benchmarks only in the fresh report
+// (newly added) or only in the baseline (renamed or removed) are
+// reported but never fail the gate; refresh the baseline in the change
+// that adds or renames them.
+//
+// Usage (as CI runs it):
+//
+//	go run ./cmd/commlat bench -json -q -o BENCH_fresh.json
+//	go run ./scripts/benchdiff -base BENCH_detectors.json -fresh BENCH_fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"commlat/internal/bench"
+)
+
+func main() {
+	basePath := flag.String("base", "BENCH_detectors.json", "committed baseline report")
+	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly measured report from `commlat bench -json`")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op increase before failing")
+	floor := flag.Float64("floor", 25, "absolute ns/op increase always tolerated (noise floor)")
+	flag.Parse()
+
+	var base, fresh bench.MicroReport
+	if err := readJSON(*basePath, &base); err != nil {
+		fail(err)
+	}
+	if err := readJSON(*freshPath, &fresh); err != nil {
+		fail(err)
+	}
+
+	baseline := map[string]bench.MicroResult{}
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	seen := map[string]bool{}
+	var regressions []string
+	for _, f := range fresh.Benchmarks {
+		seen[f.Name] = true
+		b, ok := baseline[f.Name]
+		if !ok {
+			fmt.Printf("benchdiff: new benchmark %s (%.1f ns/op), no baseline\n", f.Name, f.NsPerOp)
+			continue
+		}
+		limit := b.NsPerOp*(1+*tolerance) + *floor
+		switch {
+		case f.NsPerOp > limit:
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f ns/op (+%.1f%%, limit %.1f)",
+				f.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp-b.NsPerOp)/b.NsPerOp, limit))
+		default:
+			fmt.Printf("benchdiff: ok   %-44s %10.1f ns/op (baseline %10.1f)\n", f.Name, f.NsPerOp, b.NsPerOp)
+		}
+	}
+	var stale []string
+	for name := range baseline {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		fmt.Printf("benchdiff: baseline benchmark %s not in fresh report (renamed or removed?)\n", name)
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", r)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(seen), 100**tolerance)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -9,12 +9,19 @@
 //	go run ./scripts/tracecheck trace.jsonl
 //	commlat trace -app boruvka -json | go run ./scripts/tracecheck
 //	go run ./scripts/tracecheck -chrome trace.json
+//	go run ./scripts/tracecheck -snapshot telemetry.json
 //
 // It exits non-zero on empty input, malformed JSON, unknown event
 // kinds, missing required fields, or a non-monotonic timeline. With
 // -chrome it instead checks that the file is a Chrome trace_event
 // document: a JSON object whose traceEvents array is non-empty and
-// whose entries all carry a phase and a timestamp.
+// whose entries all carry a phase and a timestamp. With -snapshot it
+// checks a telemetry snapshot document (`commlat -telemetry-out` or the
+// /debug/telemetry endpoint): every detector row must carry id, kind,
+// and adt, unknown fields are rejected (so the cascade stage counters —
+// cascade_fast_admits through cascade_fallbacks — stay in lockstep
+// between exporter and consumers), and per-pair attribution must not
+// exceed the detector totals it decomposes.
 package main
 
 import (
@@ -156,11 +163,106 @@ func checkChrome(r io.Reader) error {
 	return nil
 }
 
+// snapshotDoc mirrors internal/telemetry's Snapshot JSON schema field
+// for field; DisallowUnknownFields turns any exporter drift — a renamed
+// cascade counter, a new stage left out of this mirror — into a CI
+// failure here instead of a silent break in downstream consumers.
+type snapshotDoc struct {
+	Engine struct {
+		TxBegun     uint64 `json:"tx_begun"`
+		TxCommitted uint64 `json:"tx_committed"`
+		TxAborted   uint64 `json:"tx_aborted"`
+	} `json:"engine"`
+	Detectors []struct {
+		ID               uint16 `json:"id"`
+		Kind             string `json:"kind"`
+		ADT              string `json:"adt"`
+		Invocations      uint64 `json:"invocations"`
+		Checks           uint64 `json:"checks"`
+		Conflicts        uint64 `json:"conflicts"`
+		Rollbacks        uint64 `json:"rollbacks"`
+		LogEntries       uint64 `json:"log_entries"`
+		Probes           uint64 `json:"probes"`
+		Collisions       uint64 `json:"collisions"`
+		FallbackScans    uint64 `json:"fallback_scans"`
+		FastAdmits       uint64 `json:"cascade_fast_admits"`
+		FilterHits       uint64 `json:"cascade_filter_hits"`
+		OptScans         uint64 `json:"cascade_opt_scans"`
+		OptRetries       uint64 `json:"cascade_opt_retries"`
+		CascadeFallbacks uint64 `json:"cascade_fallbacks"`
+		ActiveHighWater  int64  `json:"active_high_water"`
+		JournalHighWater int64  `json:"journal_high_water"`
+		Pairs            []struct {
+			M1        string `json:"m1"`
+			M2        string `json:"m2"`
+			Checks    uint64 `json:"checks"`
+			Conflicts uint64 `json:"conflicts"`
+		} `json:"pairs"`
+		Modes []struct {
+			Mode     string `json:"mode"`
+			Acquired uint64 `json:"acquired"`
+			Waits    uint64 `json:"waits"`
+		} `json:"modes"`
+	} `json:"detectors"`
+}
+
+func checkSnapshot(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc snapshotDoc
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	e := doc.Engine
+	if e.TxBegun < e.TxCommitted+e.TxAborted {
+		return fmt.Errorf("engine: %d txs begun but %d resolved", e.TxBegun, e.TxCommitted+e.TxAborted)
+	}
+	var fastAdmits, filterHits uint64
+	for i, d := range doc.Detectors {
+		if d.ID == 0 {
+			return fmt.Errorf("detectors[%d]: missing id", i)
+		}
+		if d.Kind == "" || d.ADT == "" {
+			return fmt.Errorf("detectors[%d]: missing kind or adt", i)
+		}
+		var pairChecks, pairConflicts uint64
+		for j, p := range d.Pairs {
+			if p.M1 == "" || p.M2 == "" {
+				return fmt.Errorf("detectors[%d].pairs[%d]: missing m1 or m2", i, j)
+			}
+			pairChecks += p.Checks
+			pairConflicts += p.Conflicts
+		}
+		// Per-pair rows decompose the totals (attribution may drop rows,
+		// never invent them).
+		if pairChecks > d.Checks {
+			return fmt.Errorf("detectors[%d] (%s): pair checks %d exceed total %d", i, d.Kind, pairChecks, d.Checks)
+		}
+		if pairConflicts > d.Conflicts {
+			return fmt.Errorf("detectors[%d] (%s): pair conflicts %d exceed total %d", i, d.Kind, pairConflicts, d.Conflicts)
+		}
+		for j, m := range d.Modes {
+			if m.Mode == "" {
+				return fmt.Errorf("detectors[%d].modes[%d]: missing mode", i, j)
+			}
+		}
+		fastAdmits += d.FastAdmits
+		filterHits += d.FilterHits
+	}
+	fmt.Printf("ok: snapshot with %d detectors (%d tx begun; cascade: %d fast admits, %d filter hits)\n",
+		len(doc.Detectors), e.TxBegun, fastAdmits, filterHits)
+	return nil
+}
+
 func main() {
 	args := os.Args[1:]
 	validate := check
 	if len(args) > 0 && args[0] == "-chrome" {
 		validate = checkChrome
+		args = args[1:]
+	}
+	if len(args) > 0 && args[0] == "-snapshot" {
+		validate = checkSnapshot
 		args = args[1:]
 	}
 	in := io.Reader(os.Stdin)
