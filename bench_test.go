@@ -270,6 +270,13 @@ func BenchmarkDetectorGeneralGatekeeperTraced(b *testing.B) {
 }
 func BenchmarkTelemetryEmit(b *testing.B) { bench.TelemetryEmit(b) }
 
+// Batched admission: groups of adds share one representation lock
+// acquisition, one combined-signature probe, and one group commit. The
+// acceptance target is Batch32 at ≥2× BenchmarkDetectorCascadeGatekeeper.
+func BenchmarkDetectorCascadeBatch8(b *testing.B)   { bench.DetectorCascadeBatch8(b) }
+func BenchmarkDetectorCascadeBatch32(b *testing.B)  { bench.DetectorCascadeBatch32(b) }
+func BenchmarkDetectorCascadeBatch128(b *testing.B) { bench.DetectorCascadeBatch128(b) }
+
 // BenchmarkCascadeSlowPath forces every op through all three cascade
 // stages (filter hit → optimistic scan → precise check).
 func BenchmarkCascadeSlowPath(b *testing.B) { bench.CascadeSlowPath(b) }
@@ -414,6 +421,19 @@ func BenchmarkCascadeIndexed(b *testing.B) {
 		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
 			bench.CascadeWindow(b, w)
 		})
+	}
+}
+
+// BenchmarkCascadeBatch sweeps batch size against window size under the
+// batched admission path (EXPERIMENTS.md throughput-vs-batch-size
+// table): cost per op falls with batch and stays flat in the window.
+func BenchmarkCascadeBatch(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		for _, w := range []int{64, 512, 4096} {
+			b.Run(fmt.Sprintf("batch=%d/window=%d", n, w), func(b *testing.B) {
+				bench.CascadeBatchWindow(b, n, w)
+			})
+		}
 	}
 }
 

@@ -172,8 +172,9 @@ func usage() {
 commands:
   table1    critical path / parallelism / overhead per app and variant
   table2    set microbenchmark abort ratios and times
-  bench     detector micro-benchmarks (ns/op, allocs/op); -json writes
-            BENCH_detectors.json for the CI allocation gate
+  bench     detector micro-benchmarks (ns/op, allocs/op), serial and
+            batched admission rows (DetectorCascadeBatch*, CascadeBatch);
+            -json writes BENCH_detectors.json for the CI allocation gate
   fig10     preflow-push run time vs threads (ml, ex, part)
   fig11     clustering run time vs threads (kd-gk vs kd-ml)
   fig12     Boruvka run time vs threads (uf-gk vs uf-ml)

@@ -217,41 +217,10 @@ func (m *Manager) PostAcquire(tx *engine.Tx, method string, args core.Vec, ret c
 // invocation (modes, key functions, stripes — all computed outside any
 // lock), orders them by stripe, and takes them one stripe at a time.
 func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret core.Value, post bool) error {
-	acqs := m.scheme.Acquire[method]
 	var buf [8]plannedAcq
-	plan := buf[:0]
-	for i := range acqs {
-		a := &acqs[i]
-		if (a.After || a.Target == TargetRet) != post {
-			continue
-		}
-		mode, err := m.pickMode(a, method, args, ret)
-		if err != nil {
-			return err
-		}
-		switch a.Target {
-		case TargetDS:
-			plan = append(plan, plannedAcq{sidx: -1, mode: mode})
-		case TargetArg:
-			dk, err := m.datumKeyFor(a.Key, args.At(a.Arg))
-			if err != nil {
-				return err
-			}
-			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
-		case TargetRet:
-			dk, err := m.datumKeyFor(a.Key, ret)
-			if err != nil {
-				return err
-			}
-			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
-		}
-	}
-	// Deterministic per-invocation stripe order (stable insertion sort:
-	// the plan is tiny). The ds stripe (-1) sorts first.
-	for i := 1; i < len(plan); i++ {
-		for j := i; j > 0 && plan[j].sidx < plan[j-1].sidx; j-- {
-			plan[j], plan[j-1] = plan[j-1], plan[j]
-		}
+	plan, err := m.planAcqs(buf[:0], method, args, ret, post)
+	if err != nil {
+		return err
 	}
 	// Stage 1: plans free of ds-lock acquisitions try the lock-free
 	// prefilter first; a miss on every planned cell takes the locks
@@ -282,6 +251,48 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret co
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// planAcqs resolves the pre- or post-phase acquisitions of one
+// invocation into plan (appended and returned), ordered by stripe with
+// the ds stripe (-1) first — the lock-free front half of acquireSet,
+// shared with the batch path.
+func (m *Manager) planAcqs(plan []plannedAcq, method string, args core.Vec, ret core.Value, post bool) ([]plannedAcq, error) {
+	acqs := m.scheme.Acquire[method]
+	for i := range acqs {
+		a := &acqs[i]
+		if (a.After || a.Target == TargetRet) != post {
+			continue
+		}
+		mode, err := m.pickMode(a, method, args, ret)
+		if err != nil {
+			return plan, err
+		}
+		switch a.Target {
+		case TargetDS:
+			plan = append(plan, plannedAcq{sidx: -1, mode: mode})
+		case TargetArg:
+			dk, err := m.datumKeyFor(a.Key, args.At(a.Arg))
+			if err != nil {
+				return plan, err
+			}
+			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
+		case TargetRet:
+			dk, err := m.datumKeyFor(a.Key, ret)
+			if err != nil {
+				return plan, err
+			}
+			plan = append(plan, plannedAcq{sidx: m.stripeIndex(&dk), dk: dk, mode: mode})
+		}
+	}
+	// Deterministic per-invocation stripe order (stable insertion sort:
+	// the plan is tiny). The ds stripe (-1) sorts first.
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].sidx < plan[j-1].sidx; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+	return plan, nil
 }
 
 func (m *Manager) datumKeyFor(key string, v core.Value) (datumKey, error) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"commlat/internal/core"
 	"commlat/internal/engine"
 	"commlat/internal/sigfilter"
 	"commlat/internal/telemetry"
@@ -127,6 +128,123 @@ func (m *Manager) tryAcquire(tx *engine.Tx, plan []plannedAcq) bool {
 	}
 	m.tele.CascadeFastAdmit()
 	return true
+}
+
+// AcquireBatch is PreAcquire across a batch of same-method invocations:
+// every member's pre-phase plan publishes to the fast table before any
+// member probes, amortizing the publication round and skipping stripe
+// traffic for the whole group. It returns the admitted prefix length.
+// The first member whose plan cannot take the pure fast path — a
+// ds-lock target, an unkeyable datum, slot exhaustion, a filter cell
+// shared with an earlier member, or an external holder — bounds the
+// batch; its publications (and everything after) are retracted, and the
+// caller re-runs from the boundary through PreAcquire, which reproduces
+// the serial verdict, conflicts included. Members admitted here hold
+// exactly the locks PreAcquire would have granted on its fast path.
+func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec) int {
+	n := min(len(txs), len(argss))
+	if n == 0 {
+		return 0
+	}
+	ft := m.fast
+	m.tele.IncInvocationN(n)
+
+	// Plan phase: resolve every member lock-free. A member needing the
+	// ds stripe (sidx -1 sorts first) or failing key resolution bounds
+	// the planning prefix.
+	flat := make([]plannedAcq, 0, n)
+	off := make([]int, n+1)
+	limit := n
+	var scratch [8]plannedAcq
+	for i := 0; i < n; i++ {
+		p, err := m.planAcqs(scratch[:0], method, argss[i], core.Value{}, false)
+		if err != nil || (len(p) > 0 && p[0].sidx < 0) {
+			limit = i
+			break
+		}
+		flat = append(flat, p...)
+		off[i+1] = len(flat)
+	}
+
+	// Publish phase: one slot per planned acquisition, every member live
+	// before any probes. Slot exhaustion bounds the batch (the stripe
+	// path still works for the remainder).
+	slots := make([]uint32, 0, len(flat))
+	for i := 0; i < limit; i++ {
+		start := len(slots)
+		exhausted := false
+		for k := off[i]; k < off[i+1]; k++ {
+			s, ok := ft.free.Pop()
+			if !ok {
+				m.retractFast(slots[start:])
+				slots = slots[:start]
+				exhausted = true
+				break
+			}
+			slots = append(slots, s)
+			ft.publish(s, txs[i].ID(), flat[k].dk.h, 1<<uint(flat[k].mode))
+		}
+		if exhausted {
+			limit = i
+			break
+		}
+	}
+	np := len(slots) // published acquisitions: flat[:np] aligns with slots
+
+	// Probe phase, in admission order. Member i reproduces its serial
+	// fast-path verdict: a cell shared with an earlier member means the
+	// serial run would have seen that hold and diverted to the stripes,
+	// and a count above the batch's own contribution means an external
+	// holder; either bounds the batch.
+	for i := 0; i < limit; i++ {
+		ok := true
+		for k := off[i]; k < off[i+1] && ok; k++ {
+			h := flat[k].dk.h
+			for j := 0; j < off[i]; j++ {
+				if ft.filter.SameCell(flat[j].dk.h, h) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			var selfAll int32
+			for j := 0; j < np; j++ {
+				if ft.filter.SameCell(flat[j].dk.h, h) {
+					selfAll++
+				}
+			}
+			if ft.filter.Count(h) > selfAll {
+				ok = false
+			}
+		}
+		if !ok {
+			m.retractFast(slots[off[i]:np])
+			limit = i
+			break
+		}
+	}
+
+	for i := 0; i < limit; i++ {
+		for k := off[i]; k < off[i+1]; k++ {
+			ft.attach(txs[i], slots[k])
+			m.tele.ModeAcquire(uint16(flat[k].mode))
+		}
+	}
+	m.tele.CascadeFastAdmitN(limit)
+	switch {
+	case limit == n:
+		m.tele.BatchWhole()
+	case limit == 0:
+		m.tele.BatchSerialized()
+	default:
+		m.tele.BatchSplit()
+	}
+	if limit < n {
+		m.tele.CascadeFilterHit()
+	}
+	return limit
 }
 
 func (m *Manager) retractFast(slots []uint32) {

@@ -1,0 +1,81 @@
+package adaptive
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"commlat/internal/engine"
+)
+
+// BatchRungs is the batch-size ladder the BatchController climbs. The
+// rungs are geometric because the marginal benefit of batching is: each
+// doubling halves the remaining per-batch overhead share, so linear
+// steps would waste epochs distinguishing near-identical sizes.
+var BatchRungs = [...]int{1, 8, 32, 128}
+
+// BatchController adapts the executor's batch size to the observed
+// conflict rate, the same hill-climbing idea as the detector ladder but
+// over a different axis: a batch is speculation that its members are
+// mutually disjoint, and the right amount of speculation depends on the
+// workload. While conflicts are rare the controller climbs toward
+// larger batches (amortizing admission and commit synchronization);
+// when conflicts eat into the batched work it backs off toward the
+// serial rung, where a conflict wastes at most one invocation.
+//
+// It implements engine.BatchSizer and is safe for concurrent use: all
+// workers of a run share one controller, observations accumulate under
+// a mutex, and the published rung is read without blocking.
+type BatchController struct {
+	rung atomic.Int32 // index into BatchRungs, read by Size
+
+	mu        sync.Mutex
+	committed int
+	conflicts int
+
+	// window is how many observed items separate rung decisions; lo and
+	// hi are the conflict-rate thresholds for climbing and backing off.
+	// The dead band between them is the hysteresis that keeps the
+	// controller from oscillating on a workload near one threshold.
+	window int
+	lo, hi float64
+}
+
+var _ engine.BatchSizer = (*BatchController)(nil)
+
+// NewBatchController returns a controller starting at batch size
+// BatchRungs[start] with the default window (256 items) and thresholds
+// (climb below 1% conflicts, back off above 5%).
+func NewBatchController(start int) *BatchController {
+	if start < 0 || start >= len(BatchRungs) {
+		panic("adaptive: batch rung out of range")
+	}
+	c := &BatchController{window: 256, lo: 0.01, hi: 0.05}
+	c.rung.Store(int32(start))
+	return c
+}
+
+// Size returns the batch size for the next batch.
+func (c *BatchController) Size() int { return BatchRungs[c.rung.Load()] }
+
+// Observe accumulates one finished batch's outcome and, once a full
+// window of items has been seen, moves the rung one step in the
+// direction the conflict rate indicates.
+func (c *BatchController) Observe(committed, conflicts int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.committed += committed
+	c.conflicts += conflicts
+	total := c.committed + c.conflicts
+	if total < c.window {
+		return
+	}
+	rate := float64(c.conflicts) / float64(total)
+	c.committed, c.conflicts = 0, 0
+	r := c.rung.Load()
+	switch {
+	case rate < c.lo && int(r) < len(BatchRungs)-1:
+		c.rung.Store(r + 1)
+	case rate > c.hi && r > 0:
+		c.rung.Store(r - 1)
+	}
+}

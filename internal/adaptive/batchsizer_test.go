@@ -1,0 +1,100 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBatchControllerClimbsWhenClean(t *testing.T) {
+	c := NewBatchController(0)
+	if got := c.Size(); got != BatchRungs[0] {
+		t.Fatalf("start Size = %d, want %d", got, BatchRungs[0])
+	}
+	// Conflict-free windows climb one rung at a time to the top.
+	for step := 1; step < len(BatchRungs); step++ {
+		c.Observe(c.window, 0)
+		if got := c.Size(); got != BatchRungs[step] {
+			t.Fatalf("after %d clean windows Size = %d, want %d", step, got, BatchRungs[step])
+		}
+	}
+	// At the top rung a clean window holds steady.
+	c.Observe(c.window, 0)
+	if got := c.Size(); got != BatchRungs[len(BatchRungs)-1] {
+		t.Fatalf("top rung did not hold: Size = %d", got)
+	}
+}
+
+func TestBatchControllerBacksOffUnderConflicts(t *testing.T) {
+	c := NewBatchController(len(BatchRungs) - 1)
+	// 10% conflicts is above the back-off threshold: descend one rung
+	// per window all the way to serial.
+	for step := len(BatchRungs) - 2; step >= 0; step-- {
+		c.Observe(c.window-c.window/10, c.window/10)
+		if got := c.Size(); got != BatchRungs[step] {
+			t.Fatalf("descent stalled: Size = %d, want %d", got, BatchRungs[step])
+		}
+	}
+	c.Observe(c.window-c.window/10, c.window/10)
+	if got := c.Size(); got != BatchRungs[0] {
+		t.Fatalf("bottom rung did not hold: Size = %d", got)
+	}
+}
+
+func TestBatchControllerDeadBandHolds(t *testing.T) {
+	c := NewBatchController(1)
+	// A 3% conflict rate sits between the thresholds — the rung must
+	// not move in either direction, however many windows pass.
+	for i := 0; i < 8; i++ {
+		c.Observe(c.window*97/100, c.window*3/100+1)
+		if got := c.Size(); got != BatchRungs[1] {
+			t.Fatalf("dead band moved the rung: Size = %d", got)
+		}
+	}
+}
+
+func TestBatchControllerPartialWindowsAccumulate(t *testing.T) {
+	c := NewBatchController(0)
+	// Observations smaller than the window accumulate without deciding;
+	// the decision fires when the window fills across calls.
+	for i := 0; i < 3; i++ {
+		c.Observe(c.window/4, 0)
+		if got := c.Size(); got != BatchRungs[0] {
+			t.Fatalf("decided before the window filled: Size = %d", got)
+		}
+	}
+	c.Observe(c.window/4, 0)
+	if got := c.Size(); got != BatchRungs[1] {
+		t.Fatalf("full window did not decide: Size = %d", got)
+	}
+}
+
+func TestBatchControllerConcurrent(t *testing.T) {
+	c := NewBatchController(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = c.Size()
+				c.Observe(7, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	// 12.5% conflicts throughout: whatever interleaving occurred, the
+	// controller must have stayed at (or returned to) the serial rung.
+	c.Observe(c.window, c.window/5)
+	if got := c.Size(); got != BatchRungs[0] {
+		t.Errorf("Size = %d after sustained conflicts, want %d", got, BatchRungs[0])
+	}
+}
+
+func TestBatchControllerBadStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range start rung did not panic")
+		}
+	}()
+	NewBatchController(len(BatchRungs))
+}

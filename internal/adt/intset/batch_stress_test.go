@@ -1,0 +1,77 @@
+package intset
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"commlat/internal/engine"
+)
+
+// TestBatchStressRace drives the whole batched pipeline end to end —
+// engine.RunItemsBatched popping shard batches, CascadeSet.AddBatch
+// admitting them through gatekeeper.InvokeBatch, engine.CommitBatch
+// group-committing the admitted prefix, conflicted stragglers retried
+// through the serial path — across the batch-size × parallelism sweep
+// the batch protocol must survive. The key space is narrow enough that
+// every batch size sees real intra-batch duplicates and cross-worker
+// conflicts, so all three admission outcomes (whole, split, serialized)
+// occur. Run with -race: the sweep exists to put the publish/probe,
+// group version word, and group-commit fences under the memory-model
+// checker at every rung.
+func TestBatchStressRace(t *testing.T) {
+	items := 4000
+	if testing.Short() {
+		items = 800
+	}
+	for _, batch := range []int{1, 8, 128} {
+		for _, procs := range []int{2, 8} {
+			t.Run(fmt.Sprintf("batch%d/procs%d", batch, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+
+				// ~items/8 distinct keys: dense enough to collide inside a
+				// single 128-batch, sparse enough that most admissions win.
+				keys := make([]int64, items)
+				want := map[int64]bool{}
+				for i := range keys {
+					keys[i] = int64((i * 2654435761) % (items / 8))
+					want[keys[i]] = true
+				}
+
+				s := NewCascaded(NewHashRep())
+				stats, err := engine.RunItemsBatched(keys, engine.Options{
+					Workers:   procs,
+					BatchSize: batch,
+				}, func(txs []*engine.Tx, xs []int64, _ *engine.Worklist[int64], errs []error) error {
+					rets := make([]bool, len(xs))
+					s.AddBatch(txs, xs, rets, errs)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Committed != uint64(items) {
+					t.Fatalf("committed %d of %d items", stats.Committed, items)
+				}
+
+				// Exactly the union of the keys, nothing lost to a retried
+				// duplicate, nothing left admitted.
+				tx := engine.NewTx()
+				for k := range want {
+					ok, err := s.Contains(tx, k)
+					if err != nil {
+						t.Fatalf("contains %d: %v", k, err)
+					}
+					if !ok {
+						t.Errorf("key %d missing after batched run", k)
+					}
+				}
+				tx.Commit()
+				if got := s.Cascade().ActiveInvocations(); got != 0 {
+					t.Errorf("ActiveInvocations = %d after run, want 0", got)
+				}
+			})
+		}
+	}
+}

@@ -283,6 +283,87 @@ func (s *CascadeSet) invoke(tx *engine.Tx, method string, x int64) (bool, error)
 // Add inserts x under the cascade; it reports whether the set changed.
 func (s *CascadeSet) Add(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "add", x) }
 
+// addBatchPool recycles the BatchOp staging slices of AddBatch so a
+// steady-state batched worker allocates nothing per batch.
+var addBatchPool = sync.Pool{New: func() any { return new([]gatekeeper.BatchOp) }}
+
+// AddBatch inserts xs[i] under txs[i] as one admission batch: the
+// representation lock is taken once for the whole run, the cascade
+// admits the longest prefix whose verdicts match one-at-a-time
+// execution (gatekeeper.Cascade.InvokeBatch), and that prefix's
+// transactions group-commit through engine.CommitBatch — one release
+// acquisition for all of them. The remaining items then re-run through
+// the ordinary serial path, so every item gets exactly the serial
+// verdict. It fills rets[i] and errs[i] for each item and returns the
+// batched prefix length (callers wanting throughput telemetry; the
+// per-item results are complete either way).
+//
+// On return, every tx with errs[i] == nil has been committed; a tx
+// with a conflict in errs[i] is still active and must be aborted by
+// the caller — exactly the engine.BatchBody contract.
+func (s *CascadeSet) AddBatch(txs []*engine.Tx, xs []int64, rets []bool, errs []error) int {
+	opsp := addBatchPool.Get().(*[]gatekeeper.BatchOp)
+	ops := *opsp
+	if cap(ops) < len(xs) {
+		ops = make([]gatekeeper.BatchOp, len(xs))
+	} else {
+		ops = ops[:len(xs)]
+	}
+	for i := range xs {
+		// Fill the pooled staging entries field-wise: a fresh BatchOp
+		// literal would copy the whole inline Vec per op. Recycled
+		// entries already hold a 1-value Vec, so only the value changes.
+		op := &ops[i]
+		op.Tx = txs[i]
+		op.Method = "add"
+		if op.Args.Len() == 1 {
+			op.Args.Set(0, core.VInt(xs[i]))
+		} else {
+			op.Args = core.Args1(core.VInt(xs[i]))
+		}
+	}
+	p := s.c.InvokeBatch(ops, func(run []gatekeeper.BatchOp) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for k := range run {
+			x := run[k].Args.At(0).Int()
+			if s.rep.Add(x) {
+				run[k].Ret = core.VBool(true)
+				run[k].Undo = func() {
+					s.mu.Lock()
+					s.rep.Remove(x)
+					s.mu.Unlock()
+				}
+			} else {
+				run[k].Ret = core.VBool(false)
+			}
+		}
+	})
+	for i := 0; i < p; i++ {
+		rets[i], errs[i] = ops[i].Ret.Bool(), nil
+	}
+	for i := range ops {
+		// Drop the transaction and closure references; the staged Args
+		// and Ret hold only ref-free ints and bools and are reused in
+		// place by the next batch.
+		ops[i].Tx = nil
+		ops[i].Undo = nil
+	}
+	*opsp = ops[:0]
+	addBatchPool.Put(opsp)
+	// Group-commit the admitted prefix before the serial re-runs: the
+	// suffix's verdicts must see the prefix's transactions as finished,
+	// exactly as a one-at-a-time schedule would.
+	engine.CommitBatch(txs[:p])
+	for i := p; i < len(xs); i++ {
+		rets[i], errs[i] = s.Add(txs[i], xs[i])
+		if errs[i] == nil {
+			txs[i].Commit()
+		}
+	}
+	return p
+}
+
 // Remove deletes x under the cascade.
 func (s *CascadeSet) Remove(tx *engine.Tx, x int64) (bool, error) { return s.invoke(tx, "remove", x) }
 

@@ -51,6 +51,9 @@ func Micros() []Micro {
 		{"TelemetryEmit", TelemetryEmit},
 		{"CascadeSlowPath", CascadeSlowPath},
 		{"ForwardScanFallback", ForwardScanFallback},
+		{"DetectorCascadeBatch8", DetectorCascadeBatch8},
+		{"DetectorCascadeBatch32", DetectorCascadeBatch32},
+		{"DetectorCascadeBatch128", DetectorCascadeBatch128},
 	}
 	for _, w := range []int{64, 512, 4096} {
 		w := w
@@ -72,6 +75,15 @@ func Micros() []Micro {
 			Name: fmt.Sprintf("GeneralIndexed/set/indexed/window=%d", w),
 			F:    func(b *testing.B) { GeneralSetWindow(b, false, w) },
 		})
+	}
+	for _, n := range []int{8, 32, 128} {
+		for _, w := range []int{64, 512, 4096} {
+			n, w := n, w
+			ms = append(ms, Micro{
+				Name: fmt.Sprintf("CascadeBatch/batch=%d/window=%d", n, w),
+				F:    func(b *testing.B) { CascadeBatchWindow(b, n, w) },
+			})
+		}
 	}
 	return ms
 }
@@ -121,6 +133,56 @@ func DetectorForwardGatekeeper(b *testing.B) {
 // taken by the detector.
 func DetectorCascadeGatekeeper(b *testing.B) {
 	benchSetAdd(b, intset.NewCascaded(intset.NewHashRep()))
+}
+
+// benchSetAddBatch is benchSetAdd through the batched admission
+// pipeline: each group of `batch` adds shares one representation lock
+// acquisition, one combined signature probe, and one group commit, so
+// the per-operation cost reported is the amortized batch cost. Keys
+// cycle through the same 1024-element window as benchSetAdd — the
+// steady state is disjoint-key, whole-batch admission.
+func benchSetAddBatch(b *testing.B, s *intset.CascadeSet, batch int) {
+	b.Helper()
+	var cache engine.TxCache
+	txs := make([]*engine.Tx, batch)
+	xs := make([]int64, batch)
+	rets := make([]bool, batch)
+	errs := make([]error, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		cache.GetBatch(txs[:n])
+		for k := 0; k < n; k++ {
+			xs[k] = int64((i + k) & 1023)
+		}
+		s.AddBatch(txs[:n], xs[:n], rets[:n], errs[:n])
+		for k := 0; k < n; k++ {
+			if errs[k] != nil {
+				b.Fatal(errs[k])
+			}
+		}
+		cache.PutBatch(txs[:n])
+		i += n
+	}
+}
+
+// DetectorCascadeBatch8/32/128: DetectorCascadeGatekeeper through the
+// batched admission path at fixed batch sizes. The acceptance target is
+// DetectorCascadeBatch32 at ≥2× the serial cascade's throughput.
+func DetectorCascadeBatch8(b *testing.B) {
+	benchSetAddBatch(b, intset.NewCascaded(intset.NewHashRep()), 8)
+}
+
+func DetectorCascadeBatch32(b *testing.B) {
+	benchSetAddBatch(b, intset.NewCascaded(intset.NewHashRep()), 32)
+}
+
+func DetectorCascadeBatch128(b *testing.B) {
+	benchSetAddBatch(b, intset.NewCascaded(intset.NewHashRep()), 128)
 }
 
 func benchUnionFind(b *testing.B, uf unionfind.Sets) {
@@ -311,6 +373,61 @@ func CascadeWindow(b *testing.B, window int) {
 		}
 		tx.Commit()
 		engine.PutTx(tx)
+	}
+}
+
+// CascadeBatchWindow is CascadeWindow through the batched admission
+// path: `window` active adds on distinct negative keys stay live while
+// batches of `batch` disjoint positive keys admit and group-commit.
+// Like CascadeWindow, the incoming cells are empty, so every batch
+// admits whole on the combined-signature probe and the cost stays flat
+// in the window.
+func CascadeBatchWindow(b *testing.B, batch, window int) {
+	b.Helper()
+	c, err := gatekeeper.NewCascade(intset.PreciseSpec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder := engine.NewTx()
+	defer holder.Commit()
+	for i := int64(1); i <= int64(window); i++ {
+		if _, err := c.Invoke(holder, "add", core.Args1(core.VInt(-i)), func() gatekeeper.Effect {
+			return gatekeeper.Effect{Ret: core.VBool(true)}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exec := func(run []gatekeeper.BatchOp) {
+		for k := range run {
+			run[k].Ret = core.VBool(true)
+		}
+	}
+	base := int64(1) << 40
+	var cache engine.TxCache
+	ops := make([]gatekeeper.BatchOp, batch)
+	txs := make([]*engine.Tx, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		cache.GetBatch(txs[:n])
+		for k := 0; k < n; k++ {
+			ops[k] = gatekeeper.BatchOp{
+				Tx:     txs[k],
+				Method: "add",
+				Args:   core.Args1(core.VInt(base | int64((i+k)&8191))),
+			}
+		}
+		p := c.InvokeBatch(ops[:n], exec)
+		if p != n {
+			b.Fatalf("batch admitted %d of %d disjoint keys", p, n)
+		}
+		engine.CommitBatch(txs[:n])
+		cache.PutBatch(txs[:n])
+		i += n
 	}
 }
 

@@ -327,6 +327,42 @@ func (v Value) Hash() uint64 {
 	}
 }
 
+// KeyHash returns Hash of v's canonical map key without materializing
+// the intermediate Value: it fuses MapKey and Hash through a pointer
+// receiver so hot paths (the cascade's key and probe hashing) avoid
+// two 40-byte Value copies per key. The boolean mirrors MapKey's
+// second result: false means v cannot be keyed soundly and the caller
+// must treat it as colliding with everything.
+func (v *Value) KeyHash() (uint64, bool) {
+	switch v.kind {
+	case KindNil:
+		return 0x9e3779b97f4a7c15, true
+	case KindBool:
+		if v.bits != 0 {
+			return 0x5bd1e9955bd1e995, true
+		}
+		return 0x2545f4914f6cdd1d, true
+	case KindInt, KindString:
+		return splitmix64(v.bits), true
+	case KindNaN:
+		return 0x7ff8000000000000, true
+	case KindFloat:
+		x := math.Float64frombits(v.bits)
+		if math.IsNaN(x) {
+			return 0x7ff8000000000000, true
+		}
+		if x == math.Trunc(x) {
+			if x > -maxExactFloatKey && x < maxExactFloatKey {
+				return splitmix64(uint64(int64(x))), true
+			}
+			return 0, false
+		}
+		return splitmix64(math.Float64bits(x)), true
+	default:
+		return 0, false
+	}
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator: a fast,
 // well-mixed 64-bit hash for integer keys.
 func splitmix64(x uint64) uint64 {

@@ -95,6 +95,8 @@ type Tx struct {
 	id      uint64
 	undo    []txHook
 	release []txHook
+	end     Releaser // single-owner end hook; see OnEnd
+	endWord uint64   // scratch word owned by the end releaser; see EndWord
 	attach  []attachment
 	status  Status
 	worker  int32 // executor worker running this tx (0 when hand-driven)
@@ -176,6 +178,29 @@ func (tx *Tx) Attach(owner any) (word *uint64, isNew bool) {
 	return &tx.attach[len(tx.attach)-1].word, true
 }
 
+// AttachedWord returns owner's attachment word, or nil if owner never
+// attached to this transaction — a lookup-only Attach for release paths
+// that must distinguish "no records" from "records threaded elsewhere"
+// (see EndWord).
+func (tx *Tx) AttachedWord(owner any) *uint64 {
+	for i := range tx.attach {
+		if tx.attach[i].owner == owner {
+			return &tx.attach[i].word
+		}
+	}
+	return nil
+}
+
+// EndWord returns the per-transaction scratch word reserved for the
+// end-owner releaser (see OnEnd): the detector that wins the end slot
+// may thread its record chain through this word instead of an Attach
+// entry, skipping the attachment scan on every invocation and the
+// pointer-bearing attachment clear on every commit. The word lives
+// until the end hook has run and is zeroed with it; a detector that
+// lost the end slot must use Attach, and its release path should try
+// AttachedWord first so the two storages never mix.
+func (tx *Tx) EndWord() *uint64 { return &tx.endWord }
+
 // OnUndo registers an inverse action to run (in LIFO order) if the
 // transaction aborts. Data structure wrappers call this after every
 // successful mutating invocation.
@@ -206,14 +231,107 @@ func (tx *Tx) OnReleaser(r Releaser) {
 	tx.release = append(tx.release, txHook{r: r})
 }
 
+// OnEnd registers r in the transaction's single "end owner" slot: a
+// cheaper OnReleaser for detectors that attach to every transaction
+// they see — one interface store instead of hook-slice appends. The
+// owner's ReleaseTx runs when the transaction ends (after the regular
+// release hooks), and if r also implements Undoer its UndoTx runs on
+// abort (after the regular undo hooks). r must be comparable (all
+// detectors register pointers). The slot holds at most one owner:
+// OnEnd reports whether r owns it on return; false means another
+// detector got there first and the caller must fall back to
+// OnUndoer/OnReleaser.
+func (tx *Tx) OnEnd(r Releaser) bool {
+	tx.mustBeActive()
+	if tx.end == nil {
+		tx.end = r
+		return true
+	}
+	return tx.end == r
+}
+
 // Commit ends the transaction successfully, running release hooks.
 func (tx *Tx) Commit() {
 	tx.mustBeActive()
 	tx.status = Committed
 	tx.runRelease()
+	if e := tx.end; e != nil {
+		tx.end = nil
+		e.ReleaseTx(tx)
+		tx.endWord = 0
+	}
 	clearHooks(&tx.undo)
 	clearAttach(&tx.attach)
 	telemetry.TxCommit(int(tx.worker), tx.id, tx.item)
+}
+
+// BatchReleaser is a Releaser that can free many transactions' records
+// under one acquisition of its internal serialization (one release
+// mutex, one set of retraction fences for the whole group). The cascade
+// gatekeeper and the abstract-lock fast table implement it.
+type BatchReleaser interface {
+	Releaser
+	ReleaseTxBatch(txs []*Tx)
+}
+
+// CommitBatch commits txs as one group. When every transaction's sole
+// release mechanism — its OnEnd owner, or a single OnReleaser hook —
+// is the same BatchReleaser, the whole group is released through one
+// ReleaseTxBatch call: the group-commit fast path batch admission
+// relies on. Any other hook shape falls back to committing each
+// transaction individually, with identical semantics. Transactions
+// must all be Active.
+func CommitBatch(txs []*Tx) {
+	if len(txs) == 0 {
+		return
+	}
+	var br BatchReleaser
+	var brr Releaser // br as its Releaser identity, for cheap compares
+	uniform := true
+	nset := 0
+	for _, tx := range txs {
+		tx.mustBeActive()
+		var r Releaser
+		if tx.end != nil && len(tx.release) == 0 {
+			r = tx.end
+		} else if tx.end == nil && len(tx.release) == 1 {
+			r = tx.release[0].r
+		}
+		if r != brr || r == nil {
+			b, ok := r.(BatchReleaser)
+			if !ok || (br != nil && b != br) {
+				uniform = false
+				break
+			}
+			br, brr = b, r
+		}
+		tx.status = Committed // provisional until the scan completes
+		nset++
+	}
+	if !uniform || br == nil {
+		for _, tx := range txs[:nset] {
+			tx.status = Active
+		}
+		for _, tx := range txs {
+			tx.Commit()
+		}
+		return
+	}
+	br.ReleaseTxBatch(txs)
+	for _, tx := range txs {
+		tx.end = nil
+		tx.endWord = 0
+		clearHooks(&tx.release)
+		clearHooks(&tx.undo)
+		clearAttach(&tx.attach)
+	}
+	if telemetry.TraceEnabled() {
+		for _, tx := range txs {
+			telemetry.TxCommit(int(tx.worker), tx.id, tx.item)
+		}
+	} else {
+		telemetry.CountTxCommits(len(txs))
+	}
 }
 
 // Abort rolls the transaction back: undo actions run newest-first, then
@@ -225,7 +343,15 @@ func (tx *Tx) Abort() {
 		tx.undo[i].run(tx)
 	}
 	clearHooks(&tx.undo)
+	if u, ok := tx.end.(Undoer); ok {
+		u.UndoTx(tx)
+	}
 	tx.runRelease()
+	if e := tx.end; e != nil {
+		tx.end = nil
+		e.ReleaseTx(tx)
+		tx.endWord = 0
+	}
 	clearAttach(&tx.attach)
 	telemetry.TxAbort(int(tx.worker), tx.id, tx.item)
 }

@@ -144,6 +144,65 @@ func TestWorklistFIFOOrder(t *testing.T) {
 	}
 }
 
+func TestWorklistBatchStealsPreserveShardFIFO(t *testing.T) {
+	// Regression guard for the shard-count snapshot: every item sits in
+	// shard 0 while views with home indexes far beyond any plausible
+	// GOMAXPROCS snapshot steal batches from it concurrently. PopBatch
+	// promises each batch is a contiguous run of one shard's queue, so
+	// whatever the interleaving, every stolen batch must be consecutive
+	// items in seed order, delivered exactly once.
+	wl := NewWorklist[int]()
+	const N = 20000
+	for i := 0; i < N; i++ {
+		wl.Push(i) // home handle: everything lands on shard 0
+	}
+	var mu sync.Mutex
+	var batches [][]int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := wl.forWorker(w + 1000) // larger than any shard snapshot
+			buf := make([]int, 7)
+			for {
+				k, done := v.PopBatch(buf)
+				if k == 0 {
+					if done {
+						return
+					}
+					continue
+				}
+				b := append([]int(nil), buf[:k]...)
+				mu.Lock()
+				batches = append(batches, b)
+				mu.Unlock()
+				v.doneN(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, N)
+	for _, b := range batches {
+		for k := 1; k < len(b); k++ {
+			if b[k] != b[k-1]+1 {
+				t.Fatalf("batch %v is not a contiguous FIFO run", b)
+			}
+		}
+		for _, it := range b {
+			if seen[it] {
+				t.Fatalf("item %d delivered twice", it)
+			}
+			seen[it] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}
+
 func TestWorklistCompaction(t *testing.T) {
 	// Push and pop enough items to trigger the head-compaction path and
 	// confirm order and contents survive it.

@@ -53,6 +53,12 @@ type Options struct {
 	MaxRetries int
 	// Seed seeds per-worker backoff randomization for reproducibility.
 	Seed int64
+	// BatchSize fixes the number of items RunBatched drains per
+	// PopBatch; 0 means a default of 32. Ignored by Run.
+	BatchSize int
+	// Sizer, when set, adapts RunBatched's batch size between batches
+	// (see BatchSizer); it overrides BatchSize. Ignored by Run.
+	Sizer BatchSizer
 }
 
 func (o Options) workers() int {
@@ -60,6 +66,13 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return 32
 }
 
 func (o Options) maxBackoff() time.Duration {

@@ -46,6 +46,17 @@ type wlShared[T any] struct {
 // wlShards picks the shard count: the smallest power of two covering
 // GOMAXPROCS, at least 2 (so stealing is exercised even single-threaded)
 // and at most 64.
+//
+// The count is sampled exactly once, in NewWorklist, and the worklist
+// keeps that shard array for its whole life — deliberately so. A
+// runtime.GOMAXPROCS change mid-run would otherwise invite a resize,
+// which has no safe cheap form: re-sharding must move queued items
+// (breaking per-shard FIFO mid-stream) while racing workers hold views
+// computed against the old length. Views instead take the shard count
+// modulo len(shards) at creation, so any worker count works correctly
+// against any snapshot: shrinking GOMAXPROCS just leaves some shards
+// cold, growing it doubles workers up on home shards. Both degrade
+// locality, never correctness.
 func wlShards() int {
 	n := 2
 	for n < runtime.GOMAXPROCS(0) && n < 64 {
@@ -156,7 +167,83 @@ func (w *Worklist[T]) pop() (T, bool, bool) {
 	return zero, false, done
 }
 
+// popShardN removes up to len(buf) of shard i's oldest items under one
+// lock acquisition, marking them in-flight, and reports how many it
+// took. Items come out in shard FIFO order — a batch is a contiguous
+// run of the shard's queue, never an interleaving.
+func (s *wlShared[T]) popShardN(i int, buf []T) int {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	n := len(sh.items) - sh.head
+	if n == 0 {
+		sh.mu.Unlock()
+		return 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	var zero T
+	for k := 0; k < n; k++ {
+		buf[k] = sh.items[sh.head+k]
+		sh.items[sh.head+k] = zero // release for GC
+	}
+	sh.head += n
+	if sh.head == len(sh.items) {
+		sh.items = sh.items[:0]
+		sh.head = 0
+	} else if sh.head > 1024 && sh.head*2 > len(sh.items) {
+		m := copy(sh.items, sh.items[sh.head:])
+		sh.items = sh.items[:m]
+		sh.head = 0
+	}
+	// As in popShard: inflight rises while the shard lock is held, so the
+	// termination scan cannot observe the batch as vanished.
+	s.inflight.Add(int64(n))
+	sh.mu.Unlock()
+	return n
+}
+
+// PopBatch removes up to len(buf) items as one batch, marking each
+// in-flight (one done() call per item taken). The home shard is drained
+// first under a single lock acquisition; when it is dry the view steals
+// a whole run from the first non-empty victim shard rather than single
+// items, so a batch always preserves one shard's FIFO order and never
+// mixes shards. The second result reports completed-run termination,
+// exactly as pop does, and is only meaningful when the count is 0.
+func (w *Worklist[T]) PopBatch(buf []T) (int, bool) {
+	if len(buf) == 0 {
+		return 0, false
+	}
+	s := w.s
+	n := len(s.shards)
+	for off := 0; off < n; off++ {
+		if k := s.popShardN((w.home+off)%n, buf); k > 0 {
+			return k, false
+		}
+	}
+	if s.inflight.Load() != 0 {
+		return 0, false
+	}
+	p1 := s.pushes.Load()
+	for i := 0; i < n; i++ {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		empty := sh.head == len(sh.items)
+		sh.mu.Unlock()
+		if !empty {
+			return 0, false
+		}
+	}
+	return 0, s.pushes.Load() == p1 && s.inflight.Load() == 0
+}
+
 // done marks a popped item finished (committed or abandoned).
 func (w *Worklist[T]) done() {
 	w.s.inflight.Add(-1)
+}
+
+// doneN marks n popped items finished at once — the PopBatch mirror of
+// done, one counter update for the whole batch.
+func (w *Worklist[T]) doneN(n int) {
+	w.s.inflight.Add(-int64(n))
 }

@@ -58,6 +58,52 @@ const (
 	casVerStep uint64 = 4
 )
 
+// Group-mode slot words. A batch admission binds all its slots to one
+// shared group version cell (a small ring per cascade), so the group
+// commit retires the whole batch with a single pin and a single version
+// advance instead of one CAS and one store per slot. A bound slot's own
+// word carries gmBit, the live bit (so screens treat it as a live
+// candidate; the group cell is the authority), the ring index of its
+// group cell, and the low counter bits of the cell at binding time.
+// Rebinding either word changes the pair, so an optimistic reader that
+// validates both the slot word and the group counter detects recycling
+// exactly as in direct mode.
+const (
+	gmBit     uint64 = 1 << 62
+	gIdxShift        = 44
+	gSnapMask uint64 = 1<<30 - 1
+	numGroups        = 64
+)
+
+// makeGroupRef builds the slot-word binding for a slot joining the
+// group cell gidx whose just-activated word is gw.
+func makeGroupRef(gidx uint32, gw uint64) uint64 {
+	return gmBit | casLive | uint64(gidx)<<gIdxShift | (gw>>2&gSnapMask)<<2
+}
+
+// refGidx extracts the ring index from a group-mode slot word.
+func refGidx(v uint64) uint32 { return uint32(v>>gIdxShift) & (numGroups - 1) }
+
+// Group-bound slots also pack their method/key-count meta into the
+// binding word (mid in bits 32..39, key count in bits 40..43): batch
+// publication skips the per-slot meta store and readers decode it from
+// the word they already hold. Group mode therefore requires fewer than
+// 256 methods; larger specs always publish direct.
+const grpMetaMask uint64 = 0xFFF << 32
+
+// slotMeta decodes a group-bound slot's packed meta into the meta
+// column's layout (method id low 16 bits, key count high 16).
+func slotMeta(v uint64) uint32 { return uint32(v>>32)&0xFF | uint32(v>>40&0xF)<<16 }
+
+// slotM1 reads a screened slot's method id from its version word
+// (group mode) or its meta column (direct mode).
+func (c *Cascade) slotM1(s uint32, v uint64) uint16 {
+	if v&gmBit != 0 {
+		return uint16(v>>32) & 0xFF
+	}
+	return uint16(c.metas[s].Load())
+}
+
 // nilLink terminates intrusive chains; links store index+1.
 const nilLink uint32 = 0
 
@@ -143,12 +189,12 @@ func classifySimple(t core.Term, side core.Side, nparams int) simpleTerm {
 	return simpleTerm{}
 }
 
-func (st *simpleTerm) eval(args *core.Vec, ret core.Value) core.Value {
+func (st *simpleTerm) eval(args *core.Vec, ret *core.Value) core.Value {
 	switch st.kind {
 	case stArg:
 		return args.At(st.idx)
 	case stRet:
-		return ret
+		return *ret
 	default:
 		return st.cv
 	}
@@ -168,6 +214,10 @@ type fastProbe struct {
 type cascadeMethod struct {
 	fastProbes []fastProbe
 	scanM1s    []uint16 // distinct m1s whose method chains gate stage 1
+	// probeKey[i] is the index of this method's published key slot whose
+	// simple term equals fastProbes[i]'s (-1 if none): the batch path
+	// reuses the key phase's hash instead of re-evaluating the probe.
+	probeKey []int8
 	// allSimple marks methods whose published keys and probes all
 	// evaluate context-free; their invocations run stage 1 with stack
 	// state only, no pooled scratch.
@@ -179,6 +229,12 @@ type cascadeMethod struct {
 	// needsMChain marks methods some scan plan walks; only their slots
 	// join the per-method chains.
 	needsMChain bool
+	// selfProbe marks methods whose stage-1 screen reads nothing beyond
+	// their own publication: no method-chain gates, and every probe term
+	// coincides with a published key. For a batch that is the only live
+	// work (and whose keys share no filter cell), such members' probes
+	// are tautologies — the batch path admits them without running them.
+	selfProbe bool
 }
 
 // cascadePlan is the compiled plan for incoming invocations of method
@@ -271,6 +327,26 @@ type Cascade struct {
 	heads      []atomic.Uint32 // key-hash bucket heads
 	bucketMask uint64
 	mheads     []atomic.Uint32 // per-method chain heads
+
+	// Batch slot cache: a group release parks its freed slots here (one
+	// short mutex section) and the next batch admission reclaims them,
+	// skipping the free stack's per-slot link stores in the steady
+	// state where batches pop and push the same run of slots. Bounded;
+	// overflow spills to the stack, so serial pops never starve.
+	bfMu    sync.Mutex
+	bfSlots []uint32
+
+	// Group version ring for batch-bound slots (see gmBit). gSize counts
+	// each cell's still-live members (written by the binding thread
+	// before its transactions can end, then only under relMu); slotCtr
+	// remembers each slot's last direct-mode version word across group
+	// episodes, so direct words stay unique per slot. Both are plain:
+	// every access is inside an exclusive-ownership window whose handoff
+	// already carries the happens-before edge.
+	groups  []atomic.Uint64
+	gClock  atomic.Uint32
+	gSize   []uint32
+	slotCtr []uint64
 
 	nActive atomic.Int64
 
@@ -412,6 +488,25 @@ func NewCascadeConfig(spec *core.Spec, res core.StateFn, cfg CascadeConfig) (*Ca
 				mt.minArgs = st.idx + 1
 			}
 		}
+		for pi := range mt.fastProbes {
+			idx := int8(-1)
+			if fs := mt.fastProbes[pi].simple; fs.kind != stNone {
+				for j := range c.pubs[i2] {
+					if c.pubs[i2][j].simple == fs {
+						idx = int8(j)
+						break
+					}
+				}
+			}
+			mt.probeKey = append(mt.probeKey, idx)
+		}
+		mt.selfProbe = len(mt.scanM1s) == 0
+		for _, pk := range mt.probeKey {
+			if pk < 0 {
+				mt.selfProbe = false
+				break
+			}
+		}
 	}
 
 	capS := cfg.SlotCapacity
@@ -432,6 +527,14 @@ func NewCascadeConfig(spec *core.Spec, res core.StateFn, cfg CascadeConfig) (*Ca
 	c.undos = make([]func(), capS)
 	c.txNext = make([]uint64, capS)
 	c.free = sigfilter.NewStack(capS)
+	bf := capS / 2
+	if bf > batchSlotCacheCap {
+		bf = batchSlotCacheCap
+	}
+	c.bfSlots = make([]uint32, 0, bf)
+	c.groups = make([]atomic.Uint64, numGroups)
+	c.gSize = make([]uint32, numGroups)
+	c.slotCtr = make([]uint64, capS)
 
 	nb := 64
 	for nb < 2*capS {
@@ -531,11 +634,12 @@ func (c *Cascade) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	var keys [maxCascadeKeys]uint64
 	nk := 0
 	for i := range c.pubs[mid] {
-		k, kok := core.MapKey(c.pubs[mid][i].simple.eval(&args, eff.Ret))
+		ev := c.pubs[mid][i].simple.eval(&args, &eff.Ret)
+		h, kok := ev.KeyHash()
 		if !kok {
 			return c.admitGeneral(tx, mid, args, eff)
 		}
-		keys[nk] = k.Hash()
+		keys[nk] = h
 		nk++
 	}
 	slot, slotOK := c.free.Pop()
@@ -641,6 +745,11 @@ func (c *Cascade) admitGeneral(tx *engine.Tx, mid uint16, args core.Vec, eff Eff
 func (c *Cascade) publishSlot(slot uint32, tx *engine.Tx, mid uint16, args *core.Vec, ret core.Value, undo func(), keys []uint64) {
 	K := c.maxKeys
 	v := c.ver[slot].Load() // free (bits 00); we are the only claimant
+	if v&gmBit != 0 {
+		// The slot last retired with its whole batch group: its word is a
+		// stale binding to a dead cell. Resume from the direct counter.
+		v = c.slotCtr[slot]
+	}
 	c.txs[slot] = tx
 	c.argvs[slot] = *args
 	c.rets[slot] = ret
@@ -684,11 +793,11 @@ func (c *Cascade) probeFast(mt *cascadeMethod, args *core.Vec, ret core.Value, k
 		}
 	}
 	for i := range mt.fastProbes {
-		k, kok := core.MapKey(mt.fastProbes[i].simple.eval(args, ret))
+		ev := mt.fastProbes[i].simple.eval(args, &ret)
+		h, kok := ev.KeyHash()
 		if !kok {
 			return false
 		}
-		h := k.Hash()
 		var self int32
 		for _, kh := range keys {
 			if c.filter.SameCell(kh, h) {
@@ -797,19 +906,37 @@ restart:
 		v := c.ver[s].Load()
 		if v&casLive != 0 && li%K == keySlot &&
 			c.hashes[li].Load() == h && c.txids[s].Load() != myID &&
-			uint16(c.metas[s].Load()) == plan.m1 {
+			c.slotM1(s, v) == plan.m1 {
 			if err := c.checkCandidate(tx, s, v, plan, li, h, inv, sc); err != nil {
 				return err
 			}
 		}
 		next := c.nextKey[li].Load()
-		if v2 := c.ver[s].Load(); (v2^v)&^casLocked != 0 {
+		if !c.slotStable(s, v) {
 			c.tele.CascadeRetry()
 			goto restart
 		}
 		link = next
 	}
 	return nil
+}
+
+// slotStable reports whether a slot visited at version word v has not
+// been released or recycled since: for direct slots the word itself is
+// unchanged (bar the pin bit); for group-bound slots both the word and
+// the group cell's counter still match — the group commit advances the
+// cell, and an individual retraction rewrites the slot word, so either
+// exit invalidates the visit. Walkers rely on this before trusting a
+// visited slot's chain link.
+func (c *Cascade) slotStable(s uint32, v uint64) bool {
+	if v&gmBit != 0 {
+		if c.ver[s].Load() != v {
+			return false
+		}
+		gw := c.groups[refGidx(v)].Load()
+		return (gw>>2)&gSnapMask == (v>>2)&gSnapMask
+	}
+	return (c.ver[s].Load()^v)&^casLocked == 0
 }
 
 // scanMethodChain walks every live slot of plan.m1, for plans without
@@ -823,13 +950,13 @@ restart:
 		s := link - 1
 		v := c.ver[s].Load()
 		if v&casLive != 0 && c.txids[s].Load() != myID &&
-			uint16(c.metas[s].Load()) == plan.m1 {
+			c.slotM1(s, v) == plan.m1 {
 			if err := c.checkCandidate(tx, s, v, plan, -1, 0, inv, sc); err != nil {
 				return err
 			}
 		}
 		next := c.nextM[s].Load()
-		if v2 := c.ver[s].Load(); (v2^v)&^casLocked != 0 {
+		if !c.slotStable(s, v) {
 			c.tele.CascadeRetry()
 			goto restart
 		}
@@ -844,16 +971,44 @@ restart:
 // candidates, which have no key constraint).
 func (c *Cascade) checkCandidate(tx *engine.Tx, s uint32, seen uint64, plan *cascadePlan, li int, h uint64, inv core.Invocation, sc *cascadeScratch) error {
 	clean := seen &^ casLocked
-	for spins := 0; ; spins++ {
-		if c.ver[s].CompareAndSwap(clean, clean|casLocked) {
-			break
+	gpin := seen&gmBit != 0
+	var gidx uint32
+	var gclean uint64
+	if gpin {
+		// Group-bound slot: the pin lives on the group cell. Holding it
+		// excludes the group commit and any individual retraction of a
+		// member, so every member's record is frozen under the pin.
+		gidx = refGidx(seen)
+		for spins := 0; ; spins++ {
+			gw := c.groups[gidx].Load()
+			if (gw>>2)&gSnapMask != (seen>>2)&gSnapMask || gw&casLive == 0 {
+				return nil // group retired or cell rebound: not a candidate
+			}
+			gclean = gw &^ casLocked
+			if gw&casLocked == 0 && c.groups[gidx].CompareAndSwap(gclean, gclean|casLocked) {
+				break
+			}
+			c.tele.CascadeRetry()
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
 		}
-		if v := c.ver[s].Load(); (v^clean)&^casLocked != 0 {
-			return nil // recycled or released: no longer a candidate
+		if c.ver[s].Load() != seen { // member individually retracted meanwhile
+			c.groups[gidx].Store(gclean)
+			return nil
 		}
-		c.tele.CascadeRetry()
-		if spins&63 == 63 {
-			runtime.Gosched()
+	} else {
+		for spins := 0; ; spins++ {
+			if c.ver[s].CompareAndSwap(clean, clean|casLocked) {
+				break
+			}
+			if v := c.ver[s].Load(); (v^clean)&^casLocked != 0 {
+				return nil // recycled or released: no longer a candidate
+			}
+			c.tele.CascadeRetry()
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
 		}
 	}
 	// Screened fields can have changed between the screen and the pin
@@ -861,9 +1016,13 @@ func (c *Cascade) checkCandidate(tx *engine.Tx, s uint32, seen uint64, plan *cas
 	// above excludes; still, the owner tx check is what makes the
 	// screen-to-pin window sound, so re-verify everything cheap.
 	holder := c.txids[s].Load()
-	if holder == tx.ID() || uint16(c.metas[s].Load()) != plan.m1 ||
+	if holder == tx.ID() || c.slotM1(s, seen) != plan.m1 ||
 		(li >= 0 && c.hashes[li].Load() != h) {
-		c.ver[s].Store(clean)
+		if gpin {
+			c.groups[gidx].Store(gclean)
+		} else {
+			c.ver[s].Store(clean)
+		}
 		return nil
 	}
 	inv1 := core.MakeInvocation(c.names[plan.m1], c.argvs[s], c.rets[s])
@@ -873,7 +1032,11 @@ func (c *Cascade) checkCandidate(tx *engine.Tx, s uint32, seen uint64, plan *cas
 		// release may recycle the moment we unpin: deep-copy now.
 		sc.argBuf = c.argvs[s].CopySlice(sc.argBuf[:0])
 	}
-	c.ver[s].Store(clean) // unpin
+	if gpin { // unpin
+		c.groups[gidx].Store(gclean)
+	} else {
+		c.ver[s].Store(clean)
+	}
 	if spilled {
 		inv1 = core.NewInvocation(inv1.Method, sc.argBuf, inv1.Ret)
 		defer inv1.Args.Release()
@@ -970,10 +1133,18 @@ func (c *Cascade) admitOverflow(tx *engine.Tx, mid uint16, inv core.Invocation, 
 // chain, registering the cascade's undo and release hooks on first
 // contact (one registration per transaction, allocation-free).
 func (c *Cascade) attach(tx *engine.Tx, word uint64) {
-	p, isNew := tx.Attach(c)
-	if isNew {
-		tx.OnUndoer(c)
-		tx.OnReleaser(c)
+	var p *uint64
+	if tx.OnEnd(c) {
+		// End owner: the chain head lives in the transaction's end word —
+		// no attachment scan here, no attachment clear at commit.
+		p = tx.EndWord()
+	} else {
+		var isNew bool
+		p, isNew = tx.Attach(c)
+		if isNew {
+			tx.OnUndoer(c)
+			tx.OnReleaser(c)
+		}
 	}
 	if word&ovTag == 0 {
 		c.txNext[word-1] = *p
@@ -997,8 +1168,19 @@ func (c *Cascade) attach(tx *engine.Tx, word uint64) {
 // of the same state would see those undos reordered relative to a
 // per-invocation-hook detector; transactions in this codebase touch
 // disjoint state per detector, where the order is immaterial.
+// txWord locates the transaction's cascade chain head: the Attach
+// entry when the cascade lost the end-owner slot (attach's fallback
+// registered hooks there), the end word otherwise. Lookup order
+// matters — an Attach entry, when present, is always the cascade's.
+func (c *Cascade) txWord(tx *engine.Tx) *uint64 {
+	if p := tx.AttachedWord(c); p != nil {
+		return p
+	}
+	return tx.EndWord()
+}
+
 func (c *Cascade) UndoTx(tx *engine.Tx) {
-	p, _ := tx.Attach(c)
+	p := c.txWord(tx)
 	for w := *p; w != 0; {
 		if w&ovTag == 0 {
 			s := uint32(w - 1)
@@ -1027,7 +1209,7 @@ func (c *Cascade) UndoTx(tx *engine.Tx) {
 // commit (or after undo at abort), instead of paying the release
 // fences per invocation.
 func (c *Cascade) ReleaseTx(tx *engine.Tx) {
-	p, _ := tx.Attach(c)
+	p := c.txWord(tx)
 	w := *p
 	if w == 0 {
 		return
@@ -1081,6 +1263,44 @@ func (c *Cascade) retractOverflow(idx uint32) {
 // the version lock, unlinks the chains, retracts the filter cells,
 // zeroes the record and recycles the slot. Caller holds relMu.
 func (c *Cascade) releaseSlotLocked(s uint32) {
+	c.releaseSlotCore(s)
+	c.free.Push(s)
+	c.nActive.Add(-1)
+}
+
+// releaseSlotCore is releaseSlotLocked without the free-stack push and
+// active-count decrement, so batch releases can splice all their freed
+// slots back with one stack operation and one counter update. Caller
+// holds relMu and must return the slot to the stack itself. Group-bound
+// slots (a batch member retired alone: a split suffix, a hand-committed
+// transaction) pin their group cell for the teardown, rewrite the slot
+// word back to direct mode, and retire the cell with the last member.
+func (c *Cascade) releaseSlotCore(s uint32) {
+	if v := c.ver[s].Load(); v&gmBit != 0 {
+		gidx := refGidx(v)
+		var gclean uint64
+		for spins := 0; ; spins++ {
+			gw := c.groups[gidx].Load()
+			gclean = gw &^ casLocked
+			if gw&casLocked == 0 && c.groups[gidx].CompareAndSwap(gclean, gclean|casLocked) {
+				break
+			}
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+		}
+		c.teardownSlot(s, slotMeta(v))
+		w := c.slotCtr[s] + casVerStep
+		c.slotCtr[s] = w
+		c.ver[s].Store(w) // direct-mode free word: unbinds from the group
+		c.gSize[gidx]--
+		if c.gSize[gidx] == 0 {
+			c.groups[gidx].Store((gclean &^ casLive) + casVerStep)
+		} else {
+			c.groups[gidx].Store(gclean)
+		}
+		return
+	}
 	var v uint64
 	for spins := 0; ; spins++ {
 		v = c.ver[s].Load()
@@ -1091,7 +1311,19 @@ func (c *Cascade) releaseSlotLocked(s uint32) {
 			runtime.Gosched()
 		}
 	}
-	mv := c.metas[s].Load()
+	c.teardownSlot(s, c.metas[s].Load())
+	w := (v &^ (casLocked | casLive)) + casVerStep
+	c.slotCtr[s] = w
+	c.ver[s].Store(w)
+}
+
+// teardownSlot unlinks a slot's chains, retracts its filter cells and
+// zeroes its record; mv is the slot's meta word (read from the meta
+// column or decoded from a group binding, by mode). Caller holds relMu
+// and excludes concurrent pinners (slot pin or group pin, by mode); the
+// version or group word advance that makes the teardown visible is the
+// caller's.
+func (c *Cascade) teardownSlot(s uint32, mv uint32) {
 	K := c.maxKeys
 	base := int(s) * K
 	for j := 0; j < int(mv>>16); j++ {
@@ -1107,9 +1339,6 @@ func (c *Cascade) releaseSlotLocked(s uint32) {
 	c.txs[s] = nil
 	c.undos[s] = nil
 	c.txNext[s] = 0
-	c.ver[s].Store((v &^ (casLocked | casLive)) + casVerStep)
-	c.free.Push(s)
-	c.nActive.Add(-1)
 }
 
 // unlinkKey removes a link from a key bucket chain. Interior next

@@ -208,6 +208,15 @@ type Stats struct {
 	OptScans         uint64
 	OptRetries       uint64
 	CascadeFallbacks uint64
+
+	// Batch admission effectiveness (batched detectors only): how whole
+	// admission batches fared. BatchesWhole counts batches whose every
+	// member was admitted as one group, BatchesSplit batches that
+	// group-admitted a prefix and serialized the rest, BatchesSerialized
+	// batches that admitted nothing as a group.
+	BatchesWhole      uint64
+	BatchesSplit      uint64
+	BatchesSerialized uint64
 }
 
 // NewForward constructs a forward gatekeeper for spec guarding a
@@ -376,7 +385,50 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.tele.IncInvocation()
+	return g.invokeLocked(tx, method, args, exec)
+}
 
+// InvokeBatch admits ops in order under a single mutex acquisition —
+// the serial execute-then-check loop with the per-invocation lock
+// traffic amortized across the batch. It stops at the first refusal
+// and returns the admitted prefix length: the bounding member's effect
+// has been undone by the ordinary conflict path and members past it
+// were never executed, so the caller re-runs everything from the
+// boundary through the serial path, reproducing the refusal verdict
+// (and its error) for the bounding op itself. Admitted members' Ret
+// fields are filled in place; exec is called once per member with a
+// one-element run.
+func (g *Forward) InvokeBatch(ops []BatchOp, exec func(run []BatchOp)) int {
+	if len(ops) == 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tele.IncInvocationN(len(ops))
+	for i := range ops {
+		op := &ops[i]
+		ret, err := g.invokeLocked(op.Tx, op.Method, op.Args, func() Effect {
+			run := ops[i : i+1]
+			exec(run)
+			return Effect{Ret: run[0].Ret, Undo: run[0].Undo}
+		})
+		if err != nil {
+			if i == 0 {
+				g.tele.BatchSerialized()
+			} else {
+				g.tele.BatchSplit()
+			}
+			return i
+		}
+		op.Ret = ret
+	}
+	g.tele.BatchWhole()
+	return len(ops)
+}
+
+// invokeLocked is Invoke's body; the caller holds g.mu and has counted
+// the invocation.
+func (g *Forward) invokeLocked(tx *engine.Tx, method string, args core.Vec, exec func() Effect) (core.Value, error) {
 	e := entryPool.Get().(*entry)
 	e.tx = tx
 	e.g = g
@@ -767,6 +819,10 @@ func statsFromSnapshot(s telemetry.DetectorSnapshot) Stats {
 		OptScans:         s.OptScans,
 		OptRetries:       s.OptRetries,
 		CascadeFallbacks: s.CascadeFallbacks,
+
+		BatchesWhole:      s.BatchesWhole,
+		BatchesSplit:      s.BatchesSplit,
+		BatchesSerialized: s.BatchesSerial,
 	}
 }
 

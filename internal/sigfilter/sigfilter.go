@@ -62,6 +62,51 @@ func (f *Filter) Count(h uint64) int32 { return f.cells[h&f.mask].Load() }
 // predicate a prober uses to count its own contribution.
 func (f *Filter) SameCell(a, b uint64) bool { return a&f.mask == b&f.mask }
 
+// Cell returns the index of h's cell — the exact identity SameCell
+// compares. Batch probes precompute cells once per published key and
+// compare indices instead of re-masking pairs of hashes.
+func (f *Filter) Cell(h uint64) uint32 { return uint32(h & f.mask) }
+
+// Batch probing (SWAR). A batch admission publishes many keys at once
+// and then probes each of its conflict cells against the whole batch:
+// for every probe it needs its own batch's total contribution to the
+// probed cell, so that a filter count exceeding it proves an external
+// publication. Comparing the probe cell against every batch key cell
+// pairwise is O(batch · keys) masked compares per probe; instead the
+// batch packs the low 16 bits of each published key's cell index four
+// to a 64-bit word ("the combined conflict signature") and screens four
+// published tags per word operation with the classic zero-halfword
+// trick.
+//
+// Word-level detection is exact in one direction: MatchTag4 returning
+// false proves no lane holds the probe tag, so the word's four keys are
+// provably in other cells. A true result only nominates the word —
+// lane attribution is approximate (the subtraction borrows across
+// lanes, and filters wider than 16 bits alias tags), so callers
+// re-verify candidate lanes against the exact cell indices.
+const (
+	swarLows  uint64 = 0x0001000100010001
+	swarHighs uint64 = 0x8000800080008000
+)
+
+// SpreadTag16 replicates a 16-bit cell tag into all four lanes of a
+// 64-bit comparand for MatchTag4.
+func SpreadTag16(tag uint16) uint64 { return uint64(tag) * swarLows }
+
+// PackTag16 places tag into lane l (0–3) of a signature word; words
+// start zeroed and fill lane by lane.
+func PackTag16(w uint64, l int, tag uint16) uint64 {
+	return w | uint64(tag)<<(uint(l)*16)
+}
+
+// MatchTag4 reports whether any 16-bit lane of w may equal the tag
+// replicated in spread (built by SpreadTag16). False is conclusive;
+// true requires exact per-lane verification by the caller.
+func MatchTag4(w, spread uint64) bool {
+	x := w ^ spread
+	return (x-swarLows)&^x&swarHighs != 0
+}
+
 // Stack is a lock-free Treiber stack of slot indices, used by the
 // cascade detectors to manage their fixed slot tables. The head word
 // packs a 32-bit ABA tag with the top index; the stack threads through
@@ -110,6 +155,52 @@ func (s *Stack) Pop() (idx uint32, ok bool) {
 		neu := (old>>32+1)<<32 | uint64(nxt)
 		if s.head.CompareAndSwap(old, neu) {
 			return top - 1, true
+		}
+	}
+}
+
+// PopN removes up to len(buf) slot indices with a single successful CAS,
+// walking the chain from the head and swinging the head past the run.
+// It returns how many it took (0 when empty). The walk may read next
+// links of nodes a concurrent pop is claiming, but any such
+// interleaving changes the head's ABA tag and fails the CAS, so a
+// successful PopN owns exactly the indices it returns.
+func (s *Stack) PopN(buf []uint32) int {
+retry:
+	old := s.head.Load()
+	link := uint32(old)
+	if link == 0 {
+		return 0
+	}
+	n := 0
+	for link != 0 && n < len(buf) {
+		buf[n] = link - 1
+		n++
+		link = s.next[link-1].Load()
+	}
+	neu := (old>>32+1)<<32 | uint64(link)
+	if !s.head.CompareAndSwap(old, neu) {
+		goto retry
+	}
+	return n
+}
+
+// PushN returns a run of owned slot indices with a single successful
+// CAS: the run is pre-linked in order, then spliced onto the head.
+func (s *Stack) PushN(idxs []uint32) {
+	if len(idxs) == 0 {
+		return
+	}
+	for i := 0; i < len(idxs)-1; i++ {
+		s.next[idxs[i]].Store(idxs[i+1] + 1)
+	}
+	last := idxs[len(idxs)-1]
+	for {
+		old := s.head.Load()
+		s.next[last].Store(uint32(old))
+		neu := (old>>32+1)<<32 | uint64(idxs[0]+1)
+		if s.head.CompareAndSwap(old, neu) {
+			return
 		}
 	}
 }

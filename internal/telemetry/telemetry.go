@@ -88,6 +88,12 @@ type Detector struct {
 	optRetries  atomic.Uint64 // stage 2: version-stamp races retried or re-pinned
 	cascadeSlow atomic.Uint64 // stage 3 fallbacks through the overflow mutex path
 
+	// Batch admission counters (batched detectors only): how each
+	// admission batch fared as a group.
+	batchWhole  atomic.Uint64 // batches admitted whole (every member grouped)
+	batchSplit  atomic.Uint64 // batches split (a prefix grouped, the rest serialized)
+	batchSerial atomic.Uint64 // batches fully serialized (no member grouped)
+
 	pairChecks    []atomic.Uint64 // n*n, by (first, second) label ID
 	pairConflicts []atomic.Uint64 // n*n
 	acquired      []atomic.Uint64 // n, per label (lock modes)
@@ -173,6 +179,33 @@ func (d *Detector) CascadeRetry() { d.optRetries.Add(1) }
 // overflow path (slot table exhausted or conflict keys unhashable).
 func (d *Detector) CascadeFallback() { d.cascadeSlow.Add(1) }
 
+// CascadeFastAdmitN counts n invocations admitted by the signature
+// filter alone in one batch probe (one atomic add for the group).
+func (d *Detector) CascadeFastAdmitN(n int) {
+	if n > 0 {
+		d.fastAdmits.Add(uint64(n))
+	}
+}
+
+// IncInvocationN counts n guarded invocations arriving as one batch.
+func (d *Detector) IncInvocationN(n int) {
+	if n > 0 {
+		d.invocations.Add(uint64(n))
+	}
+}
+
+// BatchWhole counts one admission batch whose every member was admitted
+// as a group.
+func (d *Detector) BatchWhole() { d.batchWhole.Add(1) }
+
+// BatchSplit counts one admission batch that admitted a non-empty
+// prefix as a group and serialized the rest.
+func (d *Detector) BatchSplit() { d.batchSplit.Add(1) }
+
+// BatchSerialized counts one admission batch that admitted no member as
+// a group (the whole batch ran the serial path).
+func (d *Detector) BatchSerialized() { d.batchSerial.Add(1) }
+
 // Check counts one pairwise commutativity evaluation of (first m1,
 // incoming m2), attributing it to the pair. The adaptive controller
 // reuses it to count rung transitions.
@@ -247,6 +280,18 @@ func TxAbort(worker int, tx uint64, item int64) {
 	Emit(worker, EvAbort, tx, item, 0, 0, 0)
 }
 
+// CountTxBeginN counts n transaction starts with one atomic add — the
+// batch mirror of CountTxBegin.
+func CountTxBeginN(n int) { Default.txBegun.Add(uint64(n)) }
+
+// CountTxCommits counts n commits with one atomic add — the group-commit
+// path, used when tracing is off and no per-transaction events are due.
+func CountTxCommits(n int) {
+	if n > 0 {
+		Default.txCommitted.Add(uint64(n))
+	}
+}
+
 // --- Snapshots -----------------------------------------------------------
 
 // PairStat is one method (or mode) pair's attribution counters.
@@ -284,6 +329,9 @@ type DetectorSnapshot struct {
 	OptScans         uint64     `json:"cascade_opt_scans,omitempty"`
 	OptRetries       uint64     `json:"cascade_opt_retries,omitempty"`
 	CascadeFallbacks uint64     `json:"cascade_fallbacks,omitempty"`
+	BatchesWhole     uint64     `json:"batches_whole,omitempty"`
+	BatchesSplit     uint64     `json:"batches_split,omitempty"`
+	BatchesSerial    uint64     `json:"batches_serialized,omitempty"`
 	ActiveHighWater  int64      `json:"active_high_water,omitempty"`
 	JournalHighWater int64      `json:"journal_high_water,omitempty"`
 	Pairs            []PairStat `json:"pairs,omitempty"`
@@ -310,6 +358,9 @@ func (d *Detector) Snapshot() DetectorSnapshot {
 		OptScans:         d.optScans.Load(),
 		OptRetries:       d.optRetries.Load(),
 		CascadeFallbacks: d.cascadeSlow.Load(),
+		BatchesWhole:     d.batchWhole.Load(),
+		BatchesSplit:     d.batchSplit.Load(),
+		BatchesSerial:    d.batchSerial.Load(),
 		ActiveHighWater:  d.activeHW.Load(),
 		JournalHighWater: d.journalHW.Load(),
 	}

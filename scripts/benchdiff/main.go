@@ -7,9 +7,12 @@
 // The tolerance is deliberately loose (15% plus an absolute floor) —
 // shared CI runners are noisy — so a failure means a real regression on
 // a detector hot path, not jitter. Benchmarks only in the fresh report
-// (newly added) or only in the baseline (renamed or removed) are
-// reported but never fail the gate; refresh the baseline in the change
-// that adds or renames them.
+// (newly added) are reported but never fail the gate; refresh the
+// baseline in the change that adds them. Benchmarks only in the
+// baseline (renamed or removed
+// without a baseline refresh) DO fail the gate — a silently vanished
+// benchmark is indistinguishable from an unmeasured regression. Pass
+// -allow-missing in the change that intentionally retires one.
 //
 // Usage (as CI runs it):
 //
@@ -32,6 +35,7 @@ func main() {
 	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly measured report from `commlat bench -json`")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op increase before failing")
 	floor := flag.Float64("floor", 25, "absolute ns/op increase always tolerated (noise floor)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh report (intentional rename/removal)")
 	flag.Parse()
 
 	var base, fresh bench.MicroReport
@@ -73,7 +77,15 @@ func main() {
 	}
 	sort.Strings(stale)
 	for _, name := range stale {
-		fmt.Printf("benchdiff: baseline benchmark %s not in fresh report (renamed or removed?)\n", name)
+		b := baseline[name]
+		if *allowMissing {
+			fmt.Printf("benchdiff: note: baseline benchmark %s (%.1f ns/op) not in fresh report, tolerated by -allow-missing\n",
+				name, b.NsPerOp)
+			continue
+		}
+		regressions = append(regressions, fmt.Sprintf(
+			"%s: in baseline (%.1f ns/op) but missing from fresh report — renamed or removed without refreshing the baseline? (rerun with -allow-missing if intentional)",
+			name, b.NsPerOp))
 	}
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", r)
