@@ -183,6 +183,7 @@ commands:
   specs     print every commutativity specification and its class
   strengthen  derive the strongest SIMPLE spec below a given one (§4.1)
   adaptive  run the §5 future-work adaptive scheme selector on the set
+            (-shards N overrides the cascade-sharded rung's shard count)
   trace     run one app with the telemetry event trace enabled; writes a
             Chrome trace_event JSON (and optionally JSONL) plus the
             per-method-pair conflict attribution table
@@ -533,6 +534,7 @@ func cmdAdaptive(args []string) error {
 	window := fs.Int("window", 4, "overlap window (threads)")
 	seed := fs.Int64("seed", 1, "stream seed")
 	start := fs.String("start", "", "starting rung by name (default: the bottom of the ladder)")
+	shards := fs.Int("shards", 0, "shard count for the cascade-sharded rung (0: pick from the ShardController ladder for this GOMAXPROCS)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -541,6 +543,15 @@ func cmdAdaptive(args []string) error {
 		return err
 	}
 	ladder := adaptive.DefaultLadder()
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = adaptive.NewShardController(0).Shards()
+	}
+	for i := range ladder {
+		if ladder[i].Name == "cascade-sharded" {
+			ladder[i] = adaptive.ShardedRung(nShards)
+		}
+	}
 	startRung := 0
 	if *start != "" {
 		startRung = -1

@@ -97,33 +97,37 @@ func newFastTable(capS int, filterBits int) *fastTable {
 // are retracted and the caller proceeds on the stripe path. Plans must
 // be free of ds-lock acquisitions.
 func (m *Manager) tryAcquire(tx *engine.Tx, plan []plannedAcq) bool {
-	ft := m.fast
 	n := len(plan)
 	var slots [8]uint32
+	var tabs [8]*fastTable
 	for i := 0; i < n; i++ {
+		ft := m.fastFor(plan[i].dk.h)
 		s, ok := ft.free.Pop()
 		if !ok {
-			m.retractFast(slots[:i])
+			m.retractFast(tabs[:i], slots[:i])
 			return false
 		}
-		slots[i] = s
+		tabs[i], slots[i] = ft, s
 		ft.publish(s, tx.ID(), plan[i].dk.h, 1<<uint(plan[i].mode))
 	}
 	for i := 0; i < n; i++ {
 		h := plan[i].dk.h
+		ft := tabs[i]
+		// Self-counting is per table: entries routed to another shard's
+		// table cannot occupy this one's cells.
 		var self int32
 		for j := 0; j < n; j++ {
-			if ft.filter.SameCell(plan[j].dk.h, h) {
+			if tabs[j] == ft && ft.filter.SameCell(plan[j].dk.h, h) {
 				self++
 			}
 		}
 		if ft.filter.Count(h) > self {
-			m.retractFast(slots[:n])
+			m.retractFast(tabs[:n], slots[:n])
 			return false
 		}
 	}
 	for i := 0; i < n; i++ {
-		ft.attach(tx, slots[i])
+		tabs[i].attach(tx, slots[i])
 		m.tele.ModeAcquire(uint16(plan[i].mode))
 	}
 	m.tele.CascadeFastAdmit()
@@ -146,7 +150,6 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 	if n == 0 {
 		return 0
 	}
-	ft := m.fast
 	m.tele.IncInvocationN(n)
 
 	// Plan phase: resolve every member lock-free. A member needing the
@@ -167,21 +170,24 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 	}
 
 	// Publish phase: one slot per planned acquisition, every member live
-	// before any probes. Slot exhaustion bounds the batch (the stripe
-	// path still works for the remainder).
+	// before any probes, each in its hash's fast table. Slot exhaustion
+	// bounds the batch (the stripe path still works for the remainder).
 	slots := make([]uint32, 0, len(flat))
+	tabs := make([]*fastTable, 0, len(flat))
 	for i := 0; i < limit; i++ {
 		start := len(slots)
 		exhausted := false
 		for k := off[i]; k < off[i+1]; k++ {
+			ft := m.fastFor(flat[k].dk.h)
 			s, ok := ft.free.Pop()
 			if !ok {
-				m.retractFast(slots[start:])
-				slots = slots[:start]
+				m.retractFast(tabs[start:], slots[start:])
+				slots, tabs = slots[:start], tabs[:start]
 				exhausted = true
 				break
 			}
 			slots = append(slots, s)
+			tabs = append(tabs, ft)
 			ft.publish(s, txs[i].ID(), flat[k].dk.h, 1<<uint(flat[k].mode))
 		}
 		if exhausted {
@@ -195,13 +201,15 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 	// fast-path verdict: a cell shared with an earlier member means the
 	// serial run would have seen that hold and diverted to the stripes,
 	// and a count above the batch's own contribution means an external
-	// holder; either bounds the batch.
+	// holder; either bounds the batch. Cell comparisons are per table —
+	// entries in different fast tables never share a cell.
 	for i := 0; i < limit; i++ {
 		ok := true
 		for k := off[i]; k < off[i+1] && ok; k++ {
 			h := flat[k].dk.h
+			ft := tabs[k]
 			for j := 0; j < off[i]; j++ {
-				if ft.filter.SameCell(flat[j].dk.h, h) {
+				if tabs[j] == ft && ft.filter.SameCell(flat[j].dk.h, h) {
 					ok = false
 					break
 				}
@@ -211,7 +219,7 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 			}
 			var selfAll int32
 			for j := 0; j < np; j++ {
-				if ft.filter.SameCell(flat[j].dk.h, h) {
+				if tabs[j] == ft && ft.filter.SameCell(flat[j].dk.h, h) {
 					selfAll++
 				}
 			}
@@ -220,7 +228,7 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 			}
 		}
 		if !ok {
-			m.retractFast(slots[off[i]:np])
+			m.retractFast(tabs[off[i]:np], slots[off[i]:np])
 			limit = i
 			break
 		}
@@ -228,7 +236,7 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 
 	for i := 0; i < limit; i++ {
 		for k := off[i]; k < off[i+1]; k++ {
-			ft.attach(txs[i], slots[k])
+			tabs[k].attach(txs[i], slots[k])
 			m.tele.ModeAcquire(uint16(flat[k].mode))
 		}
 	}
@@ -247,13 +255,16 @@ func (m *Manager) AcquireBatch(txs []*engine.Tx, method string, argss []core.Vec
 	return limit
 }
 
-func (m *Manager) retractFast(slots []uint32) {
-	ft := m.fast
-	ft.relMu.Lock()
-	for _, s := range slots {
-		ft.releaseSlotLocked(s)
+func (m *Manager) retractFast(tabs []*fastTable, slots []uint32) {
+	for i := 0; i < len(slots); {
+		// One relMu acquisition per run of same-table slots.
+		ft := tabs[i]
+		ft.relMu.Lock()
+		for ; i < len(slots) && tabs[i] == ft; i++ {
+			ft.releaseSlotLocked(slots[i])
+		}
+		ft.relMu.Unlock()
 	}
-	ft.relMu.Unlock()
 }
 
 // publish fills a claimed slot and makes it discoverable: fields, then
@@ -340,7 +351,7 @@ func (ft *fastTable) releaseSlotLocked(s uint32) {
 // another transaction in an incompatible mode. Optimistic traversal:
 // any version change after following a link restarts the walk.
 func (m *Manager) conflictScan(tx *engine.Tx, dk *datumKey, mode int) error {
-	ft := m.fast
+	ft := m.fastFor(dk.h)
 	mask := m.incompat[mode]
 	myID := tx.ID()
 restart:
@@ -371,6 +382,15 @@ restart:
 	return nil
 }
 
-// FastHolds reports how many fast-path holds are currently live (tests
-// and diagnostics).
-func (m *Manager) FastHolds() int { return int(m.fast.nLive.Load()) }
+// FastHolds reports how many fast-path holds are currently live across
+// all fast tables (tests and diagnostics).
+func (m *Manager) FastHolds() int {
+	n := 0
+	for _, ft := range m.fasts {
+		n += int(ft.nLive.Load())
+	}
+	return n
+}
+
+// FastShards reports the number of fast-table shards (1 for NewManager).
+func (m *Manager) FastShards() int { return len(m.fasts) }

@@ -104,7 +104,7 @@ func TestFastPathSlotExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewManager(s.Reduce(), nil)
-	m.fast = newFastTable(2, 0)
+	m.fasts[0] = newFastTable(2, 0)
 
 	const n = 8
 	txs := make([]*engine.Tx, n)

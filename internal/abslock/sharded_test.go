@@ -1,0 +1,135 @@
+package abslock
+
+import (
+	"sync"
+	"testing"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+)
+
+func newShardedRWSetManager(t *testing.T, shards int) *Manager {
+	t.Helper()
+	s, err := Synthesize(rwSetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManagerSharded(s.Reduce(), nil, shards)
+}
+
+// TestShardedManagerVerdicts checks the sharded fast tables change no
+// verdict: disjoint writers fast-admit, colliding acquisitions conflict
+// across both path combinations, and everything drains.
+func TestShardedManagerVerdicts(t *testing.T) {
+	m := newShardedRWSetManager(t, 8)
+	if m.FastShards() != 8 {
+		t.Fatalf("FastShards = %d, want 8", m.FastShards())
+	}
+	txs := make([]*engine.Tx, 32)
+	for i := range txs {
+		txs[i] = engine.NewTx()
+		if err := m.PreAcquire(txs[i], "add", core.MakeVec(core.V(int64(i)))); err != nil {
+			t.Fatalf("disjoint add %d: %v", i, err)
+		}
+	}
+	if got := m.FastHolds(); got != 32 {
+		t.Fatalf("FastHolds = %d, want 32 disjoint fast holds", got)
+	}
+	// Every key is guarded in whatever table it landed in.
+	for i := 0; i < 32; i++ {
+		probe := engine.NewTx()
+		if err := m.PreAcquire(probe, "contains", core.MakeVec(core.V(int64(i)))); !engine.IsConflict(err) {
+			t.Fatalf("key %d unguarded under sharded tables: %v", i, err)
+		}
+		probe.Abort()
+	}
+	for _, tx := range txs {
+		tx.Commit()
+	}
+	if got := m.FastHolds(); got != 0 {
+		t.Errorf("FastHolds = %d after drain, want 0", got)
+	}
+	if got := m.HeldLocks(); got != 0 {
+		t.Errorf("HeldLocks = %d after drain, want 0", got)
+	}
+}
+
+// TestShardedManagerBatch runs the AcquireBatch contract against
+// sharded tables: a batch whose members route to different tables still
+// admits whole, and an intra-batch duplicate still bounds the batch.
+func TestShardedManagerBatch(t *testing.T) {
+	m := newShardedRWSetManager(t, 4)
+	txs := make([]*engine.Tx, 8)
+	argss := make([]core.Vec, 8)
+	for i := range txs {
+		txs[i] = engine.NewTx()
+		argss[i] = core.MakeVec(core.V(int64(200 + i)))
+	}
+	if got := m.AcquireBatch(txs, "add", argss); got != 8 {
+		t.Fatalf("disjoint AcquireBatch = %d, want 8", got)
+	}
+	for _, tx := range txs {
+		tx.Commit()
+	}
+
+	txs2 := make([]*engine.Tx, 4)
+	keys := []int64{10, 11, 10, 12}
+	argss2 := make([]core.Vec, 4)
+	for i := range txs2 {
+		txs2[i] = engine.NewTx()
+		argss2[i] = core.MakeVec(core.V(keys[i]))
+	}
+	if got := m.AcquireBatch(txs2, "add", argss2); got != 2 {
+		t.Fatalf("colliding AcquireBatch = %d, want prefix 2", got)
+	}
+	if err := m.PreAcquire(txs2[2], "add", argss2[2]); !engine.IsConflict(err) {
+		t.Fatalf("serial re-run of duplicate key should conflict, got %v", err)
+	}
+	for _, tx := range txs2 {
+		tx.Abort()
+	}
+	if got := m.FastHolds(); got != 0 {
+		t.Errorf("FastHolds = %d after drain, want 0", got)
+	}
+	if got := m.HeldLocks(); got != 0 {
+		t.Errorf("HeldLocks = %d after drain, want 0", got)
+	}
+}
+
+// TestShardedManagerStressRace is the concurrent disjoint/overlap
+// hammer against sharded fast tables; run with -race.
+func TestShardedManagerStressRace(t *testing.T) {
+	m := newShardedRWSetManager(t, 4)
+	const workers = 8
+	ops := 500
+	if testing.Short() {
+		ops = 100
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				tx := engine.NewTx()
+				k := int64(w*4 + i%8)
+				err := m.PreAcquire(tx, "add", core.MakeVec(core.V(k)))
+				if err != nil && !engine.IsConflict(err) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				if i%3 == 0 {
+					tx.Abort()
+				} else {
+					tx.Commit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.FastHolds(); got != 0 {
+		t.Errorf("FastHolds = %d after stress, want 0", got)
+	}
+	if got := m.HeldLocks(); got != 0 {
+		t.Errorf("HeldLocks = %d after stress, want 0", got)
+	}
+}

@@ -1,0 +1,129 @@
+package adaptive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardRungs builds the shard-count ladder the ShardController climbs:
+// {1, P/2, P, 2P} for P = GOMAXPROCS, deduplicated and rounded to
+// powers of two (so P=2 yields {1, 2, 4}). One shard is the serial
+// cascade; past 2P the extra shards only dilute the admission filters
+// without adding parallelism.
+func ShardRungs() []int {
+	p := runtime.GOMAXPROCS(0)
+	pow2 := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		k := 1
+		for k < n {
+			k <<= 1
+		}
+		return k
+	}
+	var rungs []int
+	for _, n := range []int{1, pow2(p / 2), pow2(p), pow2(2 * p)} {
+		if len(rungs) == 0 || rungs[len(rungs)-1] < n {
+			rungs = append(rungs, n)
+		}
+	}
+	return rungs
+}
+
+// ShardController picks the shard count for a sharded detector
+// (gatekeeper.ShardedCascade) from observed contention, the
+// BatchController's hill-climb over a different axis: sharding is
+// speculation that the workload's keys partition cleanly, and the right
+// shard count depends on how often invocations conflict or cross
+// shards. While both the conflict rate and the crossing rate stay low
+// the controller climbs toward more shards (shrinking each shard's
+// admission state and contention domain); when either rate grows it
+// backs off — conflicts mean contended keys whose retries only get
+// costlier when split across shard tickets, and crossings mean
+// multi-shard rendezvous admissions whose cost scales with the shard
+// count.
+//
+// Unlike the batch size, a shard count cannot change under live
+// invocations — the router's state is built per count — so Shards is a
+// recommendation read at construction or epoch boundaries (quiescent
+// points), exactly like the detector ladder's rung switches.
+type ShardController struct {
+	rungs []int
+	rung  atomic.Int32
+
+	mu        sync.Mutex
+	local     int
+	crossings int
+	conflicts int
+
+	// window is how many observed invocations separate rung decisions;
+	// lo/hi are the rate thresholds with the same hysteresis dead band
+	// as the BatchController.
+	window int
+	lo, hi float64
+}
+
+// NewShardController returns a controller over ShardRungs() starting at
+// the rung whose count is closest to start (start <= 0 picks the
+// GOMAXPROCS rung), with the default window (512 invocations) and
+// thresholds (climb below 1%, back off above 5%).
+func NewShardController(start int) *ShardController {
+	c := &ShardController{rungs: ShardRungs(), window: 512, lo: 0.01, hi: 0.05}
+	if start <= 0 {
+		start = runtime.GOMAXPROCS(0)
+	}
+	best := 0
+	for i, n := range c.rungs {
+		if abs(n-start) < abs(c.rungs[best]-start) {
+			best = i
+		}
+	}
+	c.rung.Store(int32(best))
+	return c
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// Shards returns the recommended shard count for the next construction
+// or epoch.
+func (c *ShardController) Shards() int { return c.rungs[c.rung.Load()] }
+
+// Rungs returns the ladder (for reports).
+func (c *ShardController) Rungs() []int { return c.rungs }
+
+// Observe accumulates one epoch's routing outcome — shard-local
+// admissions, cross-shard rendezvous admissions, and conflicts — and,
+// once a full window of invocations has been seen, moves the rung one
+// step in the direction the rates indicate.
+func (c *ShardController) Observe(local, crossings, conflicts int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.local += local
+	c.crossings += crossings
+	c.conflicts += conflicts
+	total := c.local + c.crossings + c.conflicts
+	if total < c.window {
+		return
+	}
+	conflictRate := float64(c.conflicts) / float64(total)
+	crossingRate := float64(c.crossings) / float64(total)
+	c.local, c.crossings, c.conflicts = 0, 0, 0
+	r := c.rung.Load()
+	switch {
+	case conflictRate > c.hi || crossingRate > c.hi:
+		if r > 0 {
+			c.rung.Store(r - 1)
+		}
+	case conflictRate < c.lo && crossingRate < c.lo:
+		if int(r) < len(c.rungs)-1 {
+			c.rung.Store(r + 1)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package adaptive
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestShardRungsShape(t *testing.T) {
+	rungs := ShardRungs()
+	if len(rungs) == 0 || rungs[0] != 1 {
+		t.Fatalf("ShardRungs() = %v, want a ladder starting at 1", rungs)
+	}
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i] <= rungs[i-1] {
+			t.Fatalf("ShardRungs() = %v not strictly increasing", rungs)
+		}
+		if rungs[i]&(rungs[i]-1) != 0 {
+			t.Fatalf("rung %d not a power of two in %v", rungs[i], rungs)
+		}
+	}
+	p := runtime.GOMAXPROCS(0)
+	found := false
+	for _, n := range rungs {
+		if n >= p {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ShardRungs() = %v has no rung covering GOMAXPROCS=%d", rungs, p)
+	}
+}
+
+// TestShardControllerClimbsAndBacksOff drives the controller with
+// synthetic windows: all-local low-conflict traffic climbs to the top
+// rung, crossing-heavy traffic walks it back down, and conflict-heavy
+// traffic keeps it down.
+func TestShardControllerClimbsAndBacksOff(t *testing.T) {
+	c := NewShardController(1) // start at the bottom
+	if c.Shards() != c.Rungs()[0] {
+		t.Fatalf("start Shards() = %d, want bottom rung %d", c.Shards(), c.Rungs()[0])
+	}
+	top := c.Rungs()[len(c.Rungs())-1]
+	for i := 0; i < 4*len(c.Rungs()); i++ {
+		c.Observe(600, 0, 0) // one full clean window per call
+	}
+	if c.Shards() != top {
+		t.Fatalf("clean traffic reached %d shards, want top rung %d", c.Shards(), top)
+	}
+	c.Observe(300, 300, 0) // 50% crossing rate: back off one rung
+	if c.Shards() == top && len(c.Rungs()) > 1 {
+		t.Fatalf("crossing-heavy window did not back off from %d", top)
+	}
+	for i := 0; i < 4*len(c.Rungs()); i++ {
+		c.Observe(500, 0, 100) // 17% conflict rate: keep backing off
+	}
+	if c.Shards() != c.Rungs()[0] {
+		t.Fatalf("conflict-heavy traffic settled at %d shards, want bottom rung %d", c.Shards(), c.Rungs()[0])
+	}
+	// The dead band holds the rung in place.
+	mid := c.Shards()
+	c.Observe(570, 18, 12) // 3% crossing, 2% conflict: inside hysteresis
+	if c.Shards() != mid {
+		t.Fatalf("dead-band window moved the rung %d -> %d", mid, c.Shards())
+	}
+}
+
+func TestShardControllerStartSnapsToRung(t *testing.T) {
+	c := NewShardController(3)
+	got := c.Shards()
+	ok := false
+	for _, n := range c.Rungs() {
+		if n == got {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("Shards() = %d not on the ladder %v", got, c.Rungs())
+	}
+}

@@ -1,0 +1,202 @@
+package intset
+
+import (
+	"sync"
+
+	"commlat/internal/core"
+	"commlat/internal/engine"
+	"commlat/internal/gatekeeper"
+	"commlat/internal/telemetry"
+)
+
+// ShardedCascadeSet guards a key-partitioned representation with the
+// sharded cascade router. Detection state and representation state are
+// partitioned by the same KeyOf mapping, so an element's admission and
+// its mutation touch only that shard's filter, slot table, rep and
+// mutex — a worker whose keys stay in one shard shares no cache lines
+// with the others, which is the whole point of the affinity router.
+type ShardedCascadeSet struct {
+	c    *gatekeeper.ShardedCascade
+	mus  []padMutex
+	reps []Rep
+}
+
+// padMutex keeps neighboring shard mutexes off one cache line.
+type padMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// NewShardedCascaded builds a sharded cascade-guarded set; mk creates
+// one representation shard (called once per shard), shards <= 0 means
+// gatekeeper.DefaultShards.
+func NewShardedCascaded(mk func() Rep, shards int) *ShardedCascadeSet {
+	return NewShardedCascadedConfig(mk, gatekeeper.CascadeConfig{}, shards)
+}
+
+// NewShardedCascadedConfig is NewShardedCascaded with explicit
+// per-shard cascade configuration.
+func NewShardedCascadedConfig(mk func() Rep, cfg gatekeeper.CascadeConfig, shards int) *ShardedCascadeSet {
+	c, err := gatekeeper.NewShardedConfig(PreciseSpec(), nil, cfg, shards)
+	if err != nil {
+		panic(err) // the precise set spec is log-free, hence cascadable
+	}
+	s := &ShardedCascadeSet{
+		c:    c,
+		mus:  make([]padMutex, c.Shards()),
+		reps: make([]Rep, c.Shards()),
+	}
+	for i := range s.reps {
+		s.reps[i] = mk()
+	}
+	return s
+}
+
+// repShard maps an element to its representation shard — the same
+// mapping the router uses for admission, so a single-shard invocation's
+// rep accesses stay inside its admission shard.
+func (s *ShardedCascadeSet) repShard(x int64) int {
+	sh, ok := s.c.KeyOf("add", core.Args1(core.VInt(x)))
+	if !ok {
+		return 0
+	}
+	return sh
+}
+
+func (s *ShardedCascadeSet) invoke(tx *engine.Tx, method string, x int64) (bool, error) {
+	sh := s.repShard(x)
+	mu := &s.mus[sh].Mutex
+	rep := s.reps[sh]
+	ret, err := s.c.Invoke(tx, method, core.Args1(core.VInt(x)), func() gatekeeper.Effect {
+		mu.Lock()
+		defer mu.Unlock()
+		switch method {
+		case "add":
+			if rep.Add(x) {
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() {
+					mu.Lock()
+					rep.Remove(x)
+					mu.Unlock()
+				}}
+			}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		case "remove":
+			if rep.Remove(x) {
+				return gatekeeper.Effect{Ret: core.VBool(true), Undo: func() {
+					mu.Lock()
+					rep.Add(x)
+					mu.Unlock()
+				}}
+			}
+			return gatekeeper.Effect{Ret: core.VBool(false)}
+		default:
+			return gatekeeper.Effect{Ret: core.VBool(rep.Contains(x))}
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return ret.Bool(), nil
+}
+
+// Add inserts x; it reports whether the set changed.
+func (s *ShardedCascadeSet) Add(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "add", x)
+}
+
+// Remove deletes x.
+func (s *ShardedCascadeSet) Remove(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "remove", x)
+}
+
+// Contains queries membership.
+func (s *ShardedCascadeSet) Contains(tx *engine.Tx, x int64) (bool, error) {
+	return s.invoke(tx, "contains", x)
+}
+
+// AddBatch is CascadeSet.AddBatch through the router: the batch splits
+// into maximal same-shard runs, each admitted under its shard's ticket
+// with that shard's rep mutex taken once for the run. The admitted
+// prefix group-commits; the remainder re-runs serially, so every item
+// gets exactly the serial verdict. Batches arriving pre-sorted by
+// shard affinity (engine.NewWorklistAffinity with KeyOf) admit as one
+// run.
+func (s *ShardedCascadeSet) AddBatch(txs []*engine.Tx, xs []int64, rets []bool, errs []error) int {
+	opsp := addBatchPool.Get().(*[]gatekeeper.BatchOp)
+	ops := *opsp
+	if cap(ops) < len(xs) {
+		ops = make([]gatekeeper.BatchOp, len(xs))
+	} else {
+		ops = ops[:len(xs)]
+	}
+	for i := range xs {
+		op := &ops[i]
+		op.Tx = txs[i]
+		op.Method = "add"
+		if op.Args.Len() == 1 {
+			op.Args.Set(0, core.VInt(xs[i]))
+		} else {
+			op.Args = core.Args1(core.VInt(xs[i]))
+		}
+	}
+	p := s.c.InvokeBatch(ops, func(run []gatekeeper.BatchOp) {
+		// A run is same-shard by construction, so one shard's rep and
+		// mutex cover all of it.
+		sh := s.repShard(run[0].Args.At(0).Int())
+		mu := &s.mus[sh].Mutex
+		rep := s.reps[sh]
+		mu.Lock()
+		defer mu.Unlock()
+		for k := range run {
+			x := run[k].Args.At(0).Int()
+			if rep.Add(x) {
+				run[k].Ret = core.VBool(true)
+				run[k].Undo = func() {
+					mu.Lock()
+					rep.Remove(x)
+					mu.Unlock()
+				}
+			} else {
+				run[k].Ret = core.VBool(false)
+			}
+		}
+	})
+	for i := 0; i < p; i++ {
+		rets[i], errs[i] = ops[i].Ret.Bool(), nil
+	}
+	for i := range ops {
+		ops[i].Tx = nil
+		ops[i].Undo = nil
+	}
+	*opsp = ops[:0]
+	addBatchPool.Put(opsp)
+	engine.CommitBatch(txs[:p])
+	for i := p; i < len(xs); i++ {
+		rets[i], errs[i] = s.Add(txs[i], xs[i])
+		if errs[i] == nil {
+			txs[i].Commit()
+		}
+	}
+	return p
+}
+
+// Sharded exposes the underlying router (tests, telemetry).
+func (s *ShardedCascadeSet) Sharded() *gatekeeper.ShardedCascade { return s.c }
+
+// Telemetry returns the router's telemetry detector (local/crossing
+// admission counters).
+func (s *ShardedCascadeSet) Telemetry() *telemetry.Detector { return s.c.Telemetry() }
+
+// Snapshot returns the elements across all shards; only safe with no
+// live transactions.
+func (s *ShardedCascadeSet) Snapshot() []int64 {
+	var out []int64
+	for i := range s.reps {
+		s.mus[i].Lock()
+		out = append(out, s.reps[i].Elems()...)
+		s.mus[i].Unlock()
+	}
+	return out
+}
+
+var _ Set = (*ShardedCascadeSet)(nil)

@@ -54,6 +54,9 @@ func Micros() []Micro {
 		{"DetectorCascadeBatch8", DetectorCascadeBatch8},
 		{"DetectorCascadeBatch32", DetectorCascadeBatch32},
 		{"DetectorCascadeBatch128", DetectorCascadeBatch128},
+		{"DetectorCascadeSharded", DetectorCascadeSharded},
+		{"DetectorCascadeShardedCross", DetectorCascadeShardedCross},
+		{"DetectorCascadePairSerial", DetectorCascadePairSerial},
 	}
 	for _, w := range []int{64, 512, 4096} {
 		w := w

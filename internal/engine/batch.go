@@ -269,5 +269,15 @@ func (bw *batchWorker[T]) retryOne(wl *Worklist[T], w int, item T, first error,
 
 // RunItemsBatched is RunBatched over a fresh worklist seeded from items.
 func RunItemsBatched[T any](items []T, opts Options, body BatchBody[T]) (Stats, error) {
-	return RunBatched(NewWorklist(items...), opts, body)
+	return RunBatched(NewWorklistShards(opts.WorklistShards, items...), opts, body)
+}
+
+// RunItemsAffinity is RunItemsBatched over a worklist whose items are
+// pre-routed to the shard affinity names for each (see
+// NewWorklistAffinity): batches then arrive as contiguous same-affinity
+// runs, so a sharded detector's batched admission stays on its
+// single-writer path. The worklist shard count follows
+// opts.WorklistShards (0: automatic).
+func RunItemsAffinity[T any](items []T, affinity func(T) int, opts Options, body BatchBody[T]) (Stats, error) {
+	return RunBatched(NewWorklistAffinity(opts.WorklistShards, affinity, items...), opts, body)
 }

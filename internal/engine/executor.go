@@ -59,6 +59,13 @@ type Options struct {
 	// Sizer, when set, adapts RunBatched's batch size between batches
 	// (see BatchSizer); it overrides BatchSize. Ignored by Run.
 	Sizer BatchSizer
+	// WorklistShards overrides the shard count of worklists RunItems and
+	// RunItemsBatched build (rounded up to a power of two), so the
+	// executor's routing granularity can follow an admission-side shard
+	// count such as gatekeeper.ShardedCascade's. 0 keeps the automatic
+	// GOMAXPROCS-derived count. Ignored when the caller builds the
+	// worklist itself (Run, RunBatched).
+	WorklistShards int
 }
 
 func (o Options) workers() int {
@@ -243,5 +250,5 @@ func itemKey(v any) int64 {
 
 // RunItems is a convenience wrapper seeding a fresh worklist from a slice.
 func RunItems[T any](items []T, opts Options, body Body[T]) (Stats, error) {
-	return Run(NewWorklist(items...), opts, body)
+	return Run(NewWorklistShards(opts.WorklistShards, items...), opts, body)
 }

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestWorklistShardCounts(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {16, 16}, {100, 128},
+	} {
+		wl := NewWorklistShards[int](tc.in)
+		if wl.Shards() != tc.want {
+			t.Fatalf("NewWorklistShards(%d).Shards() = %d, want %d", tc.in, wl.Shards(), tc.want)
+		}
+	}
+	if n := NewWorklist[int]().Shards(); n < 2 {
+		t.Fatalf("automatic shard count %d < 2", n)
+	}
+}
+
+// TestWorklistShardAffinity checks that affinity-seeded items come out
+// of PopBatch as contiguous same-affinity runs: each batch drains one
+// shard's FIFO run, never an interleaving — the property a sharded
+// detector's batched fast path depends on.
+func TestWorklistShardAffinity(t *testing.T) {
+	const n = 256
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	aff := func(x int) int { return x % 4 }
+	wl := NewWorklistAffinity(4, aff, items...)
+	if wl.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", wl.Shards())
+	}
+	if wl.Len() != n {
+		t.Fatalf("Len() = %d, want %d", wl.Len(), n)
+	}
+	seen := 0
+	buf := make([]int, 32)
+	for {
+		m, done := wl.PopBatch(buf)
+		if m == 0 {
+			if !done {
+				t.Fatal("empty worklist not done with nothing in flight... after draining")
+			}
+			break
+		}
+		// Whole batch shares one affinity, in FIFO order within it.
+		a := aff(buf[0])
+		for k := 1; k < m; k++ {
+			if aff(buf[k]) != a {
+				t.Fatalf("batch mixes affinities %d and %d", a, aff(buf[k]))
+			}
+			if buf[k] <= buf[k-1] {
+				t.Fatalf("batch not FIFO within shard: %d after %d", buf[k], buf[k-1])
+			}
+		}
+		seen += m
+		wl.doneN(m)
+	}
+	if seen != n {
+		t.Fatalf("drained %d items, want %d", seen, n)
+	}
+}
+
+// TestWorklistPushShard checks the producer-side mirror: mid-run items
+// pushed to an explicit shard drain with that shard's run.
+func TestWorklistPushShard(t *testing.T) {
+	wl := NewWorklistShards[int](4)
+	wl.PushShard(2, 20, 21)
+	wl.PushShard(6, 22) // reduced modulo 4 -> shard 2
+	wl.PushShard(-1, 99)
+	if wl.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", wl.Len())
+	}
+	buf := make([]int, 8)
+	view := wl.forWorker(2)
+	m, _ := view.PopBatch(buf)
+	if m != 3 {
+		t.Fatalf("shard-2 view popped %d items, want the 3 routed there", m)
+	}
+	for i, want := range []int{20, 21, 22} {
+		if buf[i] != want {
+			t.Fatalf("buf[%d] = %d, want %d", i, buf[i], want)
+		}
+	}
+	view.doneN(m)
+	m, _ = view.PopBatch(buf)
+	if m != 1 || buf[0] != 99 {
+		t.Fatalf("steal pass got (%d, %v), want the negative-affinity item 99", m, buf[:m])
+	}
+	view.doneN(m)
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -52,12 +53,17 @@ func main() {
 	}
 	seen := map[string]bool{}
 	var regressions []string
+	logSum, logN := 0.0, 0
 	for _, f := range fresh.Benchmarks {
 		seen[f.Name] = true
 		b, ok := baseline[f.Name]
 		if !ok {
 			fmt.Printf("benchdiff: new benchmark %s (%.1f ns/op), no baseline\n", f.Name, f.NsPerOp)
 			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > 0 {
+			logSum += math.Log(f.NsPerOp / b.NsPerOp)
+			logN++
 		}
 		limit := b.NsPerOp*(1+*tolerance) + *floor
 		switch {
@@ -86,6 +92,14 @@ func main() {
 		regressions = append(regressions, fmt.Sprintf(
 			"%s: in baseline (%.1f ns/op) but missing from fresh report — renamed or removed without refreshing the baseline? (rerun with -allow-missing if intentional)",
 			name, b.NsPerOp))
+	}
+	if logN > 0 {
+		// One line for sweep-wide drift: a geomean creeping up while every
+		// row stays inside its individual tolerance is still a regression
+		// worth noticing.
+		geomean := math.Exp(logSum / float64(logN))
+		fmt.Printf("benchdiff: geomean fresh/baseline over %d shared benchmarks: %.3f (%+.1f%%)\n",
+			logN, geomean, 100*(geomean-1))
 	}
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", r)
