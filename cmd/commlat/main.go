@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"commlat/internal/abslock"
 	"commlat/internal/adaptive"
@@ -64,6 +66,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	var srv *http.Server
+	var srvDone chan struct{}
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -71,8 +75,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "commlat: telemetry on http://%s/\n", ln.Addr())
-		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default)}
+		srv = &http.Server{Handler: telemetry.Handler(telemetry.Default)}
+		srvDone = make(chan struct{})
 		go func() {
+			defer close(srvDone)
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "commlat: telemetry server:", err)
 			}
@@ -92,6 +98,16 @@ func main() {
 	err := dispatch(global.Arg(0), global.Args()[1:])
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
+	}
+	if srv != nil {
+		// Drain in-flight scrapes before exiting: a Prometheus poll that
+		// raced the subcommand's end still gets its complete response.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if serr := srv.Shutdown(ctx); serr != nil {
+			fmt.Fprintln(os.Stderr, "commlat: telemetry server shutdown:", serr)
+		}
+		cancel()
+		<-srvDone
 	}
 	if *telemetryOut != "" {
 		if werr := writeTelemetrySnapshot(*telemetryOut); werr != nil {
@@ -152,6 +168,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdAdaptive(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "flightrec":
+		err = cmdFlightrec(args)
 	case "check":
 		err = cmdCheck(args)
 	case "all":
@@ -187,6 +205,10 @@ commands:
   trace     run one app with the telemetry event trace enabled; writes a
             Chrome trace_event JSON (and optionally JSONL) plus the
             per-method-pair conflict attribution table
+  flightrec run one app with stage-latency histograms and the flight
+            recorder enabled; prints the percentile table, recent
+            admission records and the controller audit trail (-json,
+            -percentiles/-heatmap/-audit write the JSON documents)
   check     parse a textual specification file, classify and synthesize it
   all       run every quick experiment (tables, matrices, model, adaptive)
 
@@ -535,6 +557,7 @@ func cmdAdaptive(args []string) error {
 	seed := fs.Int64("seed", 1, "stream seed")
 	start := fs.String("start", "", "starting rung by name (default: the bottom of the ladder)")
 	shards := fs.Int("shards", 0, "shard count for the cascade-sharded rung (0: pick from the ShardController ladder for this GOMAXPROCS)")
+	auditOut := fs.String("audit", "", "write the controller decision audit trail as JSON to this file (- for stdout)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -570,6 +593,7 @@ func cmdAdaptive(args []string) error {
 		}
 	}
 	stream := workload.SetOpsClasses(*ops, *classes, *seed)
+	telemetry.ResetAudit()
 	trace, err := adaptive.Run(ladder, stream, *epoch, *window, startRung)
 	if perr := prof.stop(); err == nil {
 		err = perr
@@ -582,6 +606,20 @@ func cmdAdaptive(args []string) error {
 		fmt.Printf("%-8d %-12s %10.2f %12.0f\n", i, ladder[s.Rung].Name, s.AbortRatio*100, s.Throughput)
 	}
 	fmt.Printf("switches: %d; final set size: %d\n", trace.Switches, len(trace.Final.Snapshot()))
+	if *auditOut != "" {
+		w := io.Writer(os.Stdout)
+		if *auditOut != "-" {
+			f, err := os.Create(*auditOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := telemetry.WriteAuditJSON(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

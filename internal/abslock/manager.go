@@ -254,18 +254,22 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret co
 	if err != nil {
 		return err
 	}
+	t0 := telemetry.LatClock()
 	// Stage 1: plans free of ds-lock acquisitions try the lock-free
 	// prefilter first; a miss on every planned cell takes the locks
 	// without touching a stripe.
 	if len(plan) > 0 && len(plan) <= len(buf) && plan[0].sidx >= 0 {
 		if m.tryAcquire(tx, plan) {
+			telemetry.StageObserve(tx.Worker(), telemetry.StageSigFilter, t0)
 			return nil
 		}
 		m.tele.CascadeFilterHit()
+		t0 = telemetry.StageObserve(tx.Worker(), telemetry.StageSigFilter, t0)
 	}
 	for i := 0; i < len(plan); {
 		if plan[i].sidx < 0 {
 			if err := m.acquireDS(tx, plan[i].mode); err != nil {
+				telemetry.StageObserve(tx.Worker(), telemetry.StagePrecise, t0)
 				return err
 			}
 			i++
@@ -277,10 +281,14 @@ func (m *Manager) acquireSet(tx *engine.Tx, method string, args core.Vec, ret co
 		for ; i < len(plan) && &m.stripes[plan[i].sidx] == s; i++ {
 			if err := m.acquireInStripe(s, tx, &plan[i].dk, plan[i].mode); err != nil {
 				s.mu.Unlock()
+				telemetry.StageObserve(tx.Worker(), telemetry.StagePrecise, t0)
 				return err
 			}
 		}
 		s.mu.Unlock()
+	}
+	if len(plan) > 0 {
+		telemetry.StageObserve(tx.Worker(), telemetry.StagePrecise, t0)
 	}
 	return nil
 }
@@ -571,6 +579,8 @@ func (s *stripe) recycle(l *dlock) {
 // closure. The held-key list is zeroed (datum keys embed core.Values
 // that may reference user data) and recycled.
 func (s *stripe) ReleaseTx(tx *engine.Tx) {
+	t0 := telemetry.LatClock()
+	defer telemetry.StageObserve(tx.Worker(), telemetry.StageCommit, t0)
 	s.mu.Lock()
 	lst := s.held[tx]
 	for i := range lst {

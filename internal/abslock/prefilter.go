@@ -307,6 +307,7 @@ func (ft *fastTable) ReleaseTx(tx *engine.Tx) {
 		return
 	}
 	*p = 0
+	t0 := telemetry.LatClock()
 	ft.relMu.Lock()
 	for w != 0 {
 		s := uint32(w - 1)
@@ -314,6 +315,7 @@ func (ft *fastTable) ReleaseTx(tx *engine.Tx) {
 		ft.releaseSlotLocked(s)
 	}
 	ft.relMu.Unlock()
+	telemetry.StageObserve(tx.Worker(), telemetry.StageCommit, t0)
 }
 
 // releaseSlotLocked frees one live slot: version goes dead (so

@@ -190,6 +190,19 @@ func Run(ladder []Rung, ops []workload.SetOp, epochSize, window, start int) (*Tr
 		trace.Samples = append(trace.Samples, s)
 		tele.IncInvocation()
 		next := ctl.Observe(s)
+		reason := telemetry.AuditHold
+		switch {
+		case next > rung:
+			reason = telemetry.AuditClimb
+		case next < rung:
+			reason = telemetry.AuditBackoff
+		}
+		telemetry.RecordAudit(telemetry.AuditEntry{
+			Controller: "ladder", Det: tele.ID(), Window: s.Ops,
+			ConflictRate: s.AbortRatio,
+			FromRung:     rung, ToRung: next,
+			Moved: next != rung, Reason: reason,
+		})
 		if next != rung && hi < len(ops) {
 			// Quiescent point: migrate the abstract state to the new rung.
 			cur = ladder[next].Make(cur.Snapshot())

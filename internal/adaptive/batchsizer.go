@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"commlat/internal/engine"
+	"commlat/internal/telemetry"
 )
 
 // BatchRungs is the batch-size ladder the BatchController climbs. The
@@ -72,10 +73,22 @@ func (c *BatchController) Observe(committed, conflicts int) {
 	rate := float64(c.conflicts) / float64(total)
 	c.committed, c.conflicts = 0, 0
 	r := c.rung.Load()
+	next, reason := r, telemetry.AuditHold
 	switch {
 	case rate < c.lo && int(r) < len(BatchRungs)-1:
-		c.rung.Store(r + 1)
+		next, reason = r+1, telemetry.AuditClimb
 	case rate > c.hi && r > 0:
-		c.rung.Store(r - 1)
+		next, reason = r-1, telemetry.AuditBackoff
+	case rate < c.lo || rate > c.hi:
+		reason = telemetry.AuditPinned
 	}
+	if next != r {
+		c.rung.Store(next)
+	}
+	telemetry.RecordAudit(telemetry.AuditEntry{
+		Controller: "batch", Window: total,
+		ConflictRate: rate, Lo: c.lo, Hi: c.hi,
+		FromRung: BatchRungs[r], ToRung: BatchRungs[next],
+		Moved: next != r, Reason: reason,
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"commlat/internal/telemetry"
 )
 
 // ShardRungs builds the shard-count ladder the ShardController climbs:
@@ -116,14 +118,29 @@ func (c *ShardController) Observe(local, crossings, conflicts int) {
 	crossingRate := float64(c.crossings) / float64(total)
 	c.local, c.crossings, c.conflicts = 0, 0, 0
 	r := c.rung.Load()
+	next, reason := r, telemetry.AuditHold
 	switch {
 	case conflictRate > c.hi || crossingRate > c.hi:
 		if r > 0 {
-			c.rung.Store(r - 1)
+			next, reason = r-1, telemetry.AuditBackoff
+		} else {
+			reason = telemetry.AuditPinned
 		}
 	case conflictRate < c.lo && crossingRate < c.lo:
 		if int(r) < len(c.rungs)-1 {
-			c.rung.Store(r + 1)
+			next, reason = r+1, telemetry.AuditClimb
+		} else {
+			reason = telemetry.AuditPinned
 		}
 	}
+	if next != r {
+		c.rung.Store(next)
+	}
+	telemetry.RecordAudit(telemetry.AuditEntry{
+		Controller: "shard", Window: total,
+		ConflictRate: conflictRate, CrossRate: crossingRate,
+		Lo: c.lo, Hi: c.hi,
+		FromRung: c.rungs[r], ToRung: c.rungs[next],
+		Moved: next != r, Reason: reason,
+	})
 }

@@ -57,6 +57,12 @@ func Micros() []Micro {
 		{"DetectorCascadeSharded", DetectorCascadeSharded},
 		{"DetectorCascadeShardedCross", DetectorCascadeShardedCross},
 		{"DetectorCascadePairSerial", DetectorCascadePairSerial},
+		{"DetectorForwardGatekeeper/latency", DetectorForwardGatekeeperLatency},
+		{"DetectorCascadeGatekeeper/latency", DetectorCascadeGatekeeperLatency},
+		{"DetectorCascadeBatch32/latency", DetectorCascadeBatch32Latency},
+		{"DetectorCascadeSharded/latency", DetectorCascadeShardedLatency},
+		{"TelemetryLatencyObserve", TelemetryLatencyObserve},
+		{"TelemetryFlightRecord", TelemetryFlightRecord},
 	}
 	for _, w := range []int{64, 512, 4096} {
 		w := w
@@ -243,6 +249,74 @@ func DetectorGeneralGatekeeperTraced(b *testing.B) {
 	telemetry.EnableTrace(1<<12, 1)
 	defer telemetry.DisableTrace()
 	benchUnionFind(b, unionfind.NewGK(1<<16))
+}
+
+// withLatency runs a micro-benchmark with the stage-latency histograms
+// and the flight recorder both enabled: the fully instrumented
+// admission cost. Like the traced rows, instrumented admissions must
+// stay at 0 allocs/op — stage marks are atomic adds into fixed arrays
+// and flight records are stack-built into pre-sized rings.
+func withLatency(b *testing.B, f func(*testing.B)) {
+	b.Helper()
+	telemetry.EnableLatency()
+	telemetry.EnableFlight(1 << 10)
+	defer telemetry.DisableLatency()
+	defer telemetry.DisableFlight()
+	f(b)
+}
+
+// DetectorForwardGatekeeperLatency is DetectorForwardGatekeeper with
+// latency attribution and the flight recorder on.
+func DetectorForwardGatekeeperLatency(b *testing.B) {
+	withLatency(b, DetectorForwardGatekeeper)
+}
+
+// DetectorCascadeGatekeeperLatency is DetectorCascadeGatekeeper with
+// latency attribution and the flight recorder on — the instrumented
+// fast path (one clock read and one histogram add per admission).
+func DetectorCascadeGatekeeperLatency(b *testing.B) {
+	withLatency(b, DetectorCascadeGatekeeper)
+}
+
+// DetectorCascadeBatch32Latency is DetectorCascadeBatch32 with latency
+// attribution and the flight recorder on — publish/probe phase marks
+// plus one group flight record per batch.
+func DetectorCascadeBatch32Latency(b *testing.B) {
+	withLatency(b, DetectorCascadeBatch32)
+}
+
+// DetectorCascadeShardedLatency is DetectorCascadeSharded with latency
+// attribution and the flight recorder on.
+func DetectorCascadeShardedLatency(b *testing.B) {
+	withLatency(b, DetectorCascadeSharded)
+}
+
+// TelemetryLatencyObserve measures one enabled stage observation — the
+// clock read plus two atomic adds every instrumented stage boundary
+// pays.
+func TelemetryLatencyObserve(b *testing.B) {
+	telemetry.EnableLatency()
+	defer telemetry.DisableLatency()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := telemetry.LatClock()
+		telemetry.StageObserve(i&7, telemetry.StageSigFilter, t0)
+	}
+}
+
+// TelemetryFlightRecord measures one enabled flight-record append: a
+// stack-built record copied into the worker's ring slot.
+func TelemetryFlightRecord(b *testing.B) {
+	telemetry.EnableFlight(1 << 10)
+	defer telemetry.DisableFlight()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := telemetry.FlightRecord{Tx: uint64(i), Verdict: telemetry.FlightAdmitted}
+		rec.Mark(telemetry.StageSigFilter, 64)
+		telemetry.RecordFlight(i&7, &rec)
+	}
 }
 
 // TelemetryEmit measures one enabled ring-buffer event emission — the

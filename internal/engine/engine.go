@@ -318,6 +318,7 @@ func CommitBatch(txs []*Tx) {
 		return
 	}
 	br.ReleaseTxBatch(txs)
+	telemetry.AdvanceFlightEpoch()
 	for _, tx := range txs {
 		tx.end = nil
 		tx.endWord = 0

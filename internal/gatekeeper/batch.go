@@ -56,6 +56,7 @@ import (
 	"commlat/internal/core"
 	"commlat/internal/engine"
 	"commlat/internal/sigfilter"
+	"commlat/internal/telemetry"
 )
 
 // BatchOp is one invocation of an admission batch. Tx, Method and Args
@@ -275,6 +276,7 @@ keyLoop:
 	// before the first slot becomes findable — so the group commit can
 	// retire them all with one version advance; when the ring is
 	// exhausted the slots publish in ordinary direct mode.
+	tpub := telemetry.LatClock()
 	gidx, gref, grouped := c.acquireGroup()
 	for i := 0; i < n; i++ {
 		op := &ops[i]
@@ -329,6 +331,10 @@ keyLoop:
 	// usual asymmetry — its probe follows its publication, which the
 	// total order places after our increment, so it sees our slots.
 	alone := na == int64(n)
+	tprobe := tpub
+	if tpub != 0 {
+		tprobe = telemetry.LatClock() // publish phase ends, probe phase begins
+	}
 
 	// Build the combined conflict signature. The exact side goes into
 	// the cell-dedup table; only when some cell is shared by two batch
@@ -409,6 +415,9 @@ keyLoop:
 			*p = uint64(s) + 1
 		}
 		c.tele.CascadeFastAdmitN(n)
+		if obsInstrumented(tpub) {
+			c.obsBatch(ops[0].Tx, bs.mids[0], len(ops), n, tpub, tprobe)
+		}
 		return n
 	}
 	bs.flags = growSlice(bs.flags, n)
@@ -544,6 +553,9 @@ keyLoop:
 		}
 	}
 	c.tele.CascadeFastAdmitN(fast)
+	if obsInstrumented(tpub) {
+		c.obsBatch(ops[0].Tx, bs.mids[0], len(ops), limit, tpub, tprobe)
+	}
 	return limit
 }
 
@@ -737,6 +749,7 @@ func (c *Cascade) retractSlots(slots []uint32) {
 // mirror of ReleaseTx, parking all freed slots for the next batch (or
 // splicing them back with one stack operation).
 func (c *Cascade) ReleaseTxBatch(txs []*engine.Tx) {
+	t0 := telemetry.LatClock()
 	bs := batchScratchPool.Get().(*batchScratch)
 	freed := bs.freed[:0]
 	c.relMu.Lock()
@@ -789,4 +802,9 @@ func (c *Cascade) ReleaseTxBatch(txs []*engine.Tx) {
 	c.nActive.Add(-int64(len(freed)))
 	bs.freed = freed[:0]
 	batchScratchPool.Put(bs)
+	if t0 != 0 && len(txs) > 0 {
+		// One commit/release observation for the group: the whole point
+		// of the group commit is that release cost is paid per batch.
+		telemetry.StageObserve(txs[0].Worker(), telemetry.StageCommit, t0)
+	}
 }

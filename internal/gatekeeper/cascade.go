@@ -258,6 +258,13 @@ type cascadeScratch struct {
 	ctx    checkCtx
 	keys   []uint64     // published key hashes of this invocation
 	argBuf []core.Value // deep-copy target for spilled candidate args
+
+	// Latency-attribution state for this admission: precise-check time
+	// accumulated by runCheck (subtracted from the slow-path total to
+	// isolate the optimistic-index stage) and optimistic retries taken
+	// (flight-record retry count).
+	preciseNS int64
+	retries   uint16
 }
 
 var cascadeScratchPool = sync.Pool{New: func() any { return new(cascadeScratch) }}
@@ -269,6 +276,8 @@ func (sc *cascadeScratch) reset() {
 		sc.argBuf[i] = core.Value{}
 	}
 	sc.argBuf = sc.argBuf[:0]
+	sc.preciseNS = 0
+	sc.retries = 0
 }
 
 // ovRecord is one overflow entry: an active invocation that could not
@@ -628,6 +637,7 @@ func (c *Cascade) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	if !mt.allSimple || args.Len() < mt.minArgs {
 		return c.admitGeneral(tx, mid, args, eff)
 	}
+	t0 := telemetry.LatClock()
 	// Simple route: keys and probes evaluate straight off the incoming
 	// invocation, so stage 1 runs on stack state alone — no pooled
 	// scratch, no checker context, no invocation copies.
@@ -651,12 +661,19 @@ func (c *Cascade) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	if c.ovCount.Load() == 0 && c.probeFast(mt, &args, eff.Ret, keys[:nk]) {
 		c.tele.CascadeFastAdmit()
 		c.attach(tx, uint64(slot)+1)
+		if obsInstrumented(t0) {
+			c.obsFast(tx, mid, t0)
+		}
 		return eff.Ret, nil
 	}
 	c.tele.CascadeFilterHit()
+	t1 := telemetry.StageObserve(tx.Worker(), telemetry.StageSigFilter, t0)
 	sc := cascadeScratchPool.Get().(*cascadeScratch)
 	inv := c.bindCtx(sc, mid, args, eff.Ret)
 	err := c.slowCheck(tx, mid, inv, sc)
+	if obsInstrumented(t1) {
+		c.obsSlow(tx, mid, t0, t1, sc, err)
+	}
 	sc.reset()
 	cascadeScratchPool.Put(sc)
 	if err != nil {
@@ -688,6 +705,7 @@ func (c *Cascade) bindCtx(sc *cascadeScratch, mid uint16, args core.Vec, ret cor
 // slot table. Semantics match the simple route exactly; only the term
 // evaluation mechanism differs.
 func (c *Cascade) admitGeneral(tx *engine.Tx, mid uint16, args core.Vec, eff Effect) (core.Value, error) {
+	t0 := telemetry.LatClock()
 	sc := cascadeScratchPool.Get().(*cascadeScratch)
 	defer func() {
 		sc.reset()
@@ -725,10 +743,18 @@ func (c *Cascade) admitGeneral(tx *engine.Tx, mid uint16, args core.Vec, eff Eff
 	if c.ovCount.Load() == 0 && c.probeCtx(&c.mtab[mid], sc) {
 		c.tele.CascadeFastAdmit()
 		c.attach(tx, uint64(slot)+1)
+		if obsInstrumented(t0) {
+			c.obsFast(tx, mid, t0)
+		}
 		return eff.Ret, nil
 	}
 	c.tele.CascadeFilterHit()
-	if err := c.slowCheck(tx, mid, inv, sc); err != nil {
+	t1 := telemetry.StageObserve(tx.Worker(), telemetry.StageSigFilter, t0)
+	err := c.slowCheck(tx, mid, inv, sc)
+	if obsInstrumented(t1) {
+		c.obsSlow(tx, mid, t0, t1, sc, err)
+	}
+	if err != nil {
 		if eff.Undo != nil {
 			eff.Undo()
 		}
@@ -914,6 +940,7 @@ restart:
 		next := c.nextKey[li].Load()
 		if !c.slotStable(s, v) {
 			c.tele.CascadeRetry()
+			sc.retries++
 			goto restart
 		}
 		link = next
@@ -958,6 +985,7 @@ restart:
 		next := c.nextM[s].Load()
 		if !c.slotStable(s, v) {
 			c.tele.CascadeRetry()
+			sc.retries++
 			goto restart
 		}
 		link = next
@@ -989,6 +1017,7 @@ func (c *Cascade) checkCandidate(tx *engine.Tx, s uint32, seen uint64, plan *cas
 				break
 			}
 			c.tele.CascadeRetry()
+			sc.retries++
 			if spins&63 == 63 {
 				runtime.Gosched()
 			}
@@ -1006,6 +1035,7 @@ func (c *Cascade) checkCandidate(tx *engine.Tx, s uint32, seen uint64, plan *cas
 				return nil // recycled or released: no longer a candidate
 			}
 			c.tele.CascadeRetry()
+			sc.retries++
 			if spins&63 == 63 {
 				runtime.Gosched()
 			}
@@ -1050,12 +1080,19 @@ func (c *Cascade) runCheck(tx *engine.Tx, plan *cascadePlan, inv1, inv2 core.Inv
 	if plan.never {
 		return c.conflict(tx, plan, inv1, inv2, holder)
 	}
+	pt := telemetry.LatClock()
 	saved := sc.ctx.env.Inv1
 	sc.ctx.env.Inv1 = inv1
 	c.checkMu.Lock()
 	ok, err := plan.check(&sc.ctx)
 	c.checkMu.Unlock()
 	sc.ctx.env.Inv1 = saved
+	if pt != 0 {
+		// Stage 3: each precise evaluation lands in the histogram on its
+		// own; the accumulated sum lets the caller subtract it back out
+		// of the optimistic-index stage.
+		sc.preciseNS += telemetry.StageObserve(tx.Worker(), telemetry.StagePrecise, pt) - pt
+	}
 	if err != nil {
 		return fmt.Errorf("gatekeeper: cascade: checking %s against active %s: %w", inv2.Method, inv1.Method, err)
 	}
@@ -1214,6 +1251,7 @@ func (c *Cascade) ReleaseTx(tx *engine.Tx) {
 	if w == 0 {
 		return
 	}
+	t0 := telemetry.LatClock()
 	*p = 0
 	c.relMu.Lock()
 	for w != 0 {
@@ -1237,6 +1275,7 @@ func (c *Cascade) ReleaseTx(tx *engine.Tx) {
 		}
 	}
 	c.relMu.Unlock()
+	telemetry.StageObserve(tx.Worker(), telemetry.StageCommit, t0)
 }
 
 // retractSlot withdraws a publication whose invocation was rejected

@@ -385,7 +385,12 @@ func (g *Forward) Invoke(tx *engine.Tx, method string, args core.Vec, exec func(
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.tele.IncInvocation()
-	return g.invokeLocked(tx, method, args, exec)
+	t0 := telemetry.LatClock()
+	ret, err := g.invokeLocked(tx, method, args, exec)
+	if obsInstrumented(t0) {
+		g.obsInvoke(tx, method, t0, err)
+	}
+	return ret, err
 }
 
 // InvokeBatch admits ops in order under a single mutex acquisition —
@@ -759,8 +764,10 @@ func (g *Forward) removeActive(m string, e *entry) {
 // invocations) regardless of the active window size; the per-tx entry
 // list is recycled for the next transaction.
 func (g *Forward) ReleaseTx(tx *engine.Tx) {
+	t0 := telemetry.LatClock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	defer telemetry.StageObserve(tx.Worker(), telemetry.StageCommit, t0)
 	es := g.byTx[tx]
 	for i, e := range es {
 		m := e.inv.Method

@@ -321,6 +321,7 @@ func sortShardSet(set []uint32) {
 // then admits through the keyed word path instead of re-extracting.
 func (s *ShardedCascade) rendezvous(tx *engine.Tx, mid uint16, args core.Vec, eff Effect, set []uint32, keys []uint64) (core.Value, error) {
 	s.tele.ShardCross()
+	t0 := telemetry.LatClock()
 	if set == nil {
 		var all [maxShards]uint32
 		for i := range s.shards {
@@ -372,6 +373,9 @@ func (s *ShardedCascade) rendezvous(tx *engine.Tx, mid uint16, args core.Vec, ef
 		for i := len(set) - 1; i >= 0; i-- {
 			s.tickets[set[i]].unlock()
 		}
+		if obsInstrumented(t0) {
+			obsRendezvous(tx, s.tele, mid, t0, shardMask(set), err)
+		}
 		return eff.Ret, err
 	}
 	for i, sh := range set {
@@ -380,7 +384,20 @@ func (s *ShardedCascade) rendezvous(tx *engine.Tx, mid uint16, args core.Vec, ef
 	for i := len(set) - 1; i >= 0; i-- {
 		s.tickets[set[i]].unlock()
 	}
+	if obsInstrumented(t0) {
+		obsRendezvous(tx, s.tele, mid, t0, shardMask(set), nil)
+	}
 	return eff.Ret, nil
+}
+
+// shardMask packs a shard set into the flight record's 64-bit bitmask
+// (shard IDs mod 64).
+func shardMask(set []uint32) uint64 {
+	var m uint64
+	for _, sh := range set {
+		m |= 1 << (sh & 63)
+	}
+	return m
 }
 
 // InvokeBatch admits a batch through the router: ops are split into
@@ -441,6 +458,7 @@ func (s *ShardedCascade) InvokeBatch(ops []BatchOp, exec func(run []BatchOp)) in
 // holds the shard's ticket.
 func (c *Cascade) admitKeyed(tx *engine.Tx, mid uint16, args core.Vec, eff Effect, keys []uint64) (core.Value, error) {
 	c.tele.IncInvocation()
+	t0 := telemetry.LatClock()
 	mt := &c.mtab[mid]
 	slot, slotOK := c.free.Pop()
 	if !slotOK {
@@ -451,12 +469,19 @@ func (c *Cascade) admitKeyed(tx *engine.Tx, mid uint16, args core.Vec, eff Effec
 	if c.ovCount.Load() == 0 && c.probeFast(mt, &args, eff.Ret, keys) {
 		c.tele.CascadeFastAdmit()
 		c.attach(tx, uint64(slot)+1)
+		if obsInstrumented(t0) {
+			c.obsFast(tx, mid, t0)
+		}
 		return eff.Ret, nil
 	}
 	c.tele.CascadeFilterHit()
+	t1 := telemetry.StageObserve(tx.Worker(), telemetry.StageSigFilter, t0)
 	sc := cascadeScratchPool.Get().(*cascadeScratch)
 	inv := c.bindCtx(sc, mid, args, eff.Ret)
 	err := c.slowCheck(tx, mid, inv, sc)
+	if obsInstrumented(t1) {
+		c.obsSlow(tx, mid, t0, t1, sc, err)
+	}
 	sc.reset()
 	cascadeScratchPool.Put(sc)
 	if err != nil {

@@ -361,5 +361,6 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	promLatency(bw)
 	return bw.Flush()
 }

@@ -9,11 +9,16 @@ import (
 
 // Handler serves the registry over HTTP:
 //
-//	/metrics          Prometheus text exposition
-//	/debug/telemetry  JSON Snapshot
-//	/debug/vars       expvar (includes the "commlat" var once
-//	                  PublishExpvar has run; Handler calls it for the
-//	                  Default registry)
+//	/metrics                   Prometheus text exposition (counters +
+//	                           stage-latency histograms)
+//	/debug/telemetry           JSON Snapshot
+//	/debug/vars                expvar (includes the "commlat" var once
+//	                           PublishExpvar has run; Handler calls it
+//	                           for the Default registry)
+//	/debug/commlat/flightrec   flight-recorder snapshot (JSON)
+//	/debug/commlat/percentiles stage-latency percentile dump (JSON)
+//	/debug/commlat/heatmap     shard-load heatmap (JSON)
+//	/debug/commlat/audit       controller decision audit trail (JSON)
 //
 // cmd/commlat mounts this behind the global -listen flag.
 func Handler(r *Registry) http.Handler {
@@ -32,6 +37,22 @@ func Handler(r *Registry) http.Handler {
 		_ = enc.Encode(r.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/commlat/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteFlightJSON(w)
+	})
+	mux.HandleFunc("/debug/commlat/percentiles", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WritePercentilesJSON(w)
+	})
+	mux.HandleFunc("/debug/commlat/heatmap", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteHeatmapJSON(w)
+	})
+	mux.HandleFunc("/debug/commlat/audit", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteAuditJSON(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -42,6 +63,10 @@ func Handler(r *Registry) http.Handler {
 <li><a href="/metrics">/metrics</a> (Prometheus text)</li>
 <li><a href="/debug/telemetry">/debug/telemetry</a> (JSON snapshot)</li>
 <li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/debug/commlat/flightrec">/debug/commlat/flightrec</a> (flight-recorder snapshot)</li>
+<li><a href="/debug/commlat/percentiles">/debug/commlat/percentiles</a> (stage-latency percentiles)</li>
+<li><a href="/debug/commlat/heatmap">/debug/commlat/heatmap</a> (shard-load heatmap)</li>
+<li><a href="/debug/commlat/audit">/debug/commlat/audit</a> (controller audit trail)</li>
 </ul></body></html>`))
 	})
 	return mux

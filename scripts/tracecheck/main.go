@@ -10,6 +10,9 @@
 //	commlat trace -app boruvka -json | go run ./scripts/tracecheck
 //	go run ./scripts/tracecheck -chrome trace.json
 //	go run ./scripts/tracecheck -snapshot telemetry.json
+//	commlat flightrec -app cluster -json | go run ./scripts/tracecheck -flight
+//	go run ./scripts/tracecheck -percentiles percentiles.json
+//	go run ./scripts/tracecheck -audit audit.json
 //
 // It exits non-zero on empty input, malformed JSON, unknown event
 // kinds, missing required fields, or a non-monotonic timeline. With
@@ -190,6 +193,12 @@ type snapshotDoc struct {
 		OptScans         uint64 `json:"cascade_opt_scans"`
 		OptRetries       uint64 `json:"cascade_opt_retries"`
 		CascadeFallbacks uint64 `json:"cascade_fallbacks"`
+		BatchesWhole     uint64 `json:"batches_whole"`
+		BatchesSplit     uint64 `json:"batches_split"`
+		BatchesSerial    uint64 `json:"batches_serialized"`
+		Shard            int64  `json:"shard"`
+		ShardLocal       uint64 `json:"shard_local"`
+		ShardCross       uint64 `json:"shard_cross"`
 		ActiveHighWater  int64  `json:"active_high_water"`
 		JournalHighWater int64  `json:"journal_high_water"`
 		Pairs            []struct {
@@ -254,6 +263,216 @@ func checkSnapshot(r io.Reader) error {
 	return nil
 }
 
+// flightDoc mirrors internal/telemetry's FlightDoc JSON schema, same
+// lockstep discipline as snapshotDoc.
+type flightDoc struct {
+	Epoch   uint64 `json:"epoch"`
+	Dropped uint64 `json:"dropped"`
+	Records []struct {
+		TS       *int64   `json:"ts_ns"`
+		Tx       uint64   `json:"tx"`
+		Epoch    uint64   `json:"epoch"`
+		Worker   *int     `json:"worker"`
+		Detector string   `json:"detector"`
+		Method   string   `json:"method"`
+		Verdict  string   `json:"verdict"`
+		Retries  int      `json:"retries"`
+		N        int      `json:"n"`
+		Shards   []int    `json:"shards"`
+		Stages   []string `json:"stages"`
+		StageNS  struct {
+			SigFilterNS    uint32 `json:"sig_filter_ns"`
+			OptIndexNS     uint32 `json:"opt_index_ns"`
+			PreciseNS      uint32 `json:"precise_ns"`
+			RendezvousNS   uint32 `json:"rendezvous_ns"`
+			BatchPublishNS uint32 `json:"batch_publish_ns"`
+			BatchProbeNS   uint32 `json:"batch_probe_ns"`
+			CommitNS       uint32 `json:"commit_release_ns"`
+		} `json:"stage_ns"`
+	} `json:"records"`
+}
+
+var flightVerdicts = map[string]bool{
+	"admitted": true, "conflict": true,
+	"batch_whole": true, "batch_split": true, "batch_serial": true,
+}
+
+var flightStages = map[string]bool{
+	"sig_filter": true, "opt_index": true, "precise": true, "rendezvous": true,
+	"batch_publish": true, "batch_probe": true, "commit_release": true,
+}
+
+// checkFlight validates a flight-recorder document (`commlat flightrec
+// -json` or /debug/commlat/flightrec): every record needs a timestamp,
+// a worker and a known verdict; stage spellings must come from the
+// pipeline vocabulary; the timeline is oldest-first; and a run that
+// recorded anything must have buffered at least one record.
+func checkFlight(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc flightDoc
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	if len(doc.Records) == 0 {
+		return fmt.Errorf("flight document has no records")
+	}
+	var lastTS int64
+	verdicts := map[string]int{}
+	for i, rec := range doc.Records {
+		if rec.TS == nil {
+			return fmt.Errorf("records[%d]: missing ts_ns", i)
+		}
+		if *rec.TS < lastTS {
+			return fmt.Errorf("records[%d]: ts_ns %d out of order (previous %d)", i, *rec.TS, lastTS)
+		}
+		lastTS = *rec.TS
+		if rec.Worker == nil || *rec.Worker < 0 {
+			return fmt.Errorf("records[%d]: missing or negative worker", i)
+		}
+		if !flightVerdicts[rec.Verdict] {
+			return fmt.Errorf("records[%d]: unknown verdict %q", i, rec.Verdict)
+		}
+		if rec.Epoch > doc.Epoch {
+			return fmt.Errorf("records[%d]: record epoch %d past document epoch %d", i, rec.Epoch, doc.Epoch)
+		}
+		for _, st := range rec.Stages {
+			if !flightStages[st] {
+				return fmt.Errorf("records[%d]: unknown stage %q", i, st)
+			}
+		}
+		for _, sh := range rec.Shards {
+			if sh < 0 || sh > 63 {
+				return fmt.Errorf("records[%d]: shard %d out of range", i, sh)
+			}
+		}
+		verdicts[rec.Verdict]++
+	}
+	fmt.Printf("ok: %d flight records (epoch %d, %d reclaimed; %d admitted, %d conflict)\n",
+		len(doc.Records), doc.Epoch, doc.Dropped, verdicts["admitted"], verdicts["conflict"])
+	return nil
+}
+
+// percentilesDoc mirrors internal/telemetry's LatencySnapshot schema.
+type percentilesDoc struct {
+	Enabled bool `json:"enabled"`
+	Stages  []struct {
+		Stage   string  `json:"stage"`
+		Count   *uint64 `json:"count"`
+		SumNS   uint64  `json:"sum_ns"`
+		P50NS   float64 `json:"p50_ns"`
+		P90NS   float64 `json:"p90_ns"`
+		P99NS   float64 `json:"p99_ns"`
+		P999NS  float64 `json:"p999_ns"`
+		Buckets []struct {
+			LeNS  uint64 `json:"le_ns"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	} `json:"stages"`
+}
+
+// checkPercentiles validates a stage-latency percentile document
+// (`commlat flightrec -percentiles` or /debug/commlat/percentiles):
+// stage names from the pipeline vocabulary, monotone percentiles, and
+// bucket counts that decompose each stage's total.
+func checkPercentiles(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc percentilesDoc
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	if len(doc.Stages) == 0 {
+		return fmt.Errorf("percentile document has no stage rows")
+	}
+	var total uint64
+	for i, st := range doc.Stages {
+		if !flightStages[st.Stage] {
+			return fmt.Errorf("stages[%d]: unknown stage %q", i, st.Stage)
+		}
+		if st.Count == nil || *st.Count == 0 {
+			return fmt.Errorf("stages[%d] (%s): missing or zero count", i, st.Stage)
+		}
+		if !(st.P50NS <= st.P90NS && st.P90NS <= st.P99NS && st.P99NS <= st.P999NS) {
+			return fmt.Errorf("stages[%d] (%s): percentiles not monotone: p50 %g p90 %g p99 %g p99.9 %g",
+				i, st.Stage, st.P50NS, st.P90NS, st.P99NS, st.P999NS)
+		}
+		var n uint64
+		lastLe := int64(-1)
+		for j, b := range st.Buckets {
+			if int64(b.LeNS) <= lastLe {
+				return fmt.Errorf("stages[%d] (%s): buckets[%d] le_ns %d out of order", i, st.Stage, j, b.LeNS)
+			}
+			lastLe = int64(b.LeNS)
+			n += b.Count
+		}
+		if n != *st.Count {
+			return fmt.Errorf("stages[%d] (%s): bucket counts sum to %d, want %d", i, st.Stage, n, *st.Count)
+		}
+		total += *st.Count
+	}
+	fmt.Printf("ok: %d latency stages, %d observations\n", len(doc.Stages), total)
+	return nil
+}
+
+// auditDoc mirrors internal/telemetry's AuditDoc schema.
+type auditDoc struct {
+	Entries []struct {
+		TS           *int64  `json:"ts_ns"`
+		Controller   string  `json:"controller"`
+		Det          uint16  `json:"detector_id"`
+		Window       int     `json:"window"`
+		ConflictRate float64 `json:"conflict_rate"`
+		CrossRate    float64 `json:"crossing_rate"`
+		Lo           float64 `json:"lo"`
+		Hi           float64 `json:"hi"`
+		FromRung     int     `json:"from_rung"`
+		ToRung       int     `json:"to_rung"`
+		Moved        bool    `json:"moved"`
+		Reason       string  `json:"reason"`
+	} `json:"entries"`
+}
+
+var auditReasons = map[string]bool{"climb": true, "backoff": true, "hold": true, "pinned": true}
+
+// checkAudit validates a controller audit document (`commlat flightrec
+// -audit` or /debug/commlat/audit): known reasons, rates in [0,1],
+// moves consistent with from/to rungs.
+func checkAudit(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc auditDoc
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("audit document has no entries")
+	}
+	moves := 0
+	for i, e := range doc.Entries {
+		if e.TS == nil {
+			return fmt.Errorf("entries[%d]: missing ts_ns", i)
+		}
+		if e.Controller == "" {
+			return fmt.Errorf("entries[%d]: missing controller", i)
+		}
+		if !auditReasons[e.Reason] {
+			return fmt.Errorf("entries[%d]: unknown reason %q", i, e.Reason)
+		}
+		if e.ConflictRate < 0 || e.ConflictRate > 1 || e.CrossRate < 0 || e.CrossRate > 1 {
+			return fmt.Errorf("entries[%d]: rate outside [0,1]: conflict %g crossing %g", i, e.ConflictRate, e.CrossRate)
+		}
+		if e.Moved != (e.FromRung != e.ToRung) {
+			return fmt.Errorf("entries[%d]: moved=%v but rung %d -> %d", i, e.Moved, e.FromRung, e.ToRung)
+		}
+		if e.Moved {
+			moves++
+		}
+	}
+	fmt.Printf("ok: %d audit entries (%d rung moves)\n", len(doc.Entries), moves)
+	return nil
+}
+
 func main() {
 	args := os.Args[1:]
 	validate := check
@@ -263,6 +482,18 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "-snapshot" {
 		validate = checkSnapshot
+		args = args[1:]
+	}
+	if len(args) > 0 && args[0] == "-flight" {
+		validate = checkFlight
+		args = args[1:]
+	}
+	if len(args) > 0 && args[0] == "-percentiles" {
+		validate = checkPercentiles
+		args = args[1:]
+	}
+	if len(args) > 0 && args[0] == "-audit" {
+		validate = checkAudit
 		args = args[1:]
 	}
 	in := io.Reader(os.Stdin)
