@@ -31,14 +31,19 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"commlat/internal/abslock"
+	"commlat/internal/analysis"
 	"commlat/internal/adaptive"
 	"commlat/internal/adt/accum"
 	"commlat/internal/adt/flowgraph"
@@ -95,38 +100,65 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Teardown runs exactly once, from whichever path gets there first —
+	// the subcommand returning or a termination signal — so an
+	// interrupted run still flushes its profiles, drains in-flight
+	// telemetry scrapes, and writes its final snapshot.
+	var teardownOnce sync.Once
+	var teardownErr error
+	teardown := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if srv != nil {
+			// Drain in-flight scrapes before exiting: a Prometheus poll
+			// that raced the run's end still gets its complete response.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if serr := srv.Shutdown(ctx); serr != nil {
+				fmt.Fprintln(os.Stderr, "commlat: telemetry server shutdown:", serr)
+			}
+			cancel()
+			<-srvDone
+		}
+		if *telemetryOut != "" {
+			if werr := writeTelemetrySnapshot(*telemetryOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "commlat:", werr)
+				teardownErr = werr
+			}
+		}
+		if *memProfile != "" {
+			f, ferr := os.Create(*memProfile)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "commlat:", ferr)
+				teardownErr = ferr
+				return
+			}
+			runtime.GC() // capture the retained heap, not transient garbage
+			if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+				fmt.Fprintln(os.Stderr, "commlat:", ferr)
+				teardownErr = ferr
+			}
+			f.Close()
+		}
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "commlat: %v: shutting down\n", s)
+		teardownOnce.Do(teardown)
+		code := 130 // 128 + SIGINT
+		if s == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+
 	err := dispatch(global.Arg(0), global.Args()[1:])
-	if *cpuProfile != "" {
-		pprof.StopCPUProfile()
-	}
-	if srv != nil {
-		// Drain in-flight scrapes before exiting: a Prometheus poll that
-		// raced the subcommand's end still gets its complete response.
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		if serr := srv.Shutdown(ctx); serr != nil {
-			fmt.Fprintln(os.Stderr, "commlat: telemetry server shutdown:", serr)
-		}
-		cancel()
-		<-srvDone
-	}
-	if *telemetryOut != "" {
-		if werr := writeTelemetrySnapshot(*telemetryOut); werr != nil {
-			fmt.Fprintln(os.Stderr, "commlat:", werr)
-			os.Exit(1)
-		}
-	}
-	if *memProfile != "" {
-		f, ferr := os.Create(*memProfile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "commlat:", ferr)
-			os.Exit(1)
-		}
-		runtime.GC() // capture the retained heap, not transient garbage
-		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
-			fmt.Fprintln(os.Stderr, "commlat:", ferr)
-			os.Exit(1)
-		}
-		f.Close()
+	teardownOnce.Do(teardown)
+	if err == nil {
+		err = teardownErr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "commlat:", err)
@@ -646,7 +678,20 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("parsed %s: %d methods, class %s\n\n", spec.Sig.Name, len(spec.Sig.Methods), spec.Classify())
+	// Static verification first: a spec that is ill-formed, covertly
+	// asymmetric, or lattice-broken should fail check before anything
+	// is synthesized from it.
+	specName := *file
+	if specName != "-" {
+		specName = filepath.Base(specName)
+	}
+	if findings := analysis.VetSpec(specName, spec); len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+		}
+		return fmt.Errorf("specvet: %d finding(s)", len(findings))
+	}
+	fmt.Printf("parsed %s: %d methods, class %s (specvet: verified)\n\n", spec.Sig.Name, len(spec.Sig.Methods), spec.Classify())
 	fmt.Print(spectext.Format(spec))
 	fmt.Println()
 	switch spec.Classify() {

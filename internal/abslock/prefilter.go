@@ -49,6 +49,7 @@ type fastTable struct {
 	filter *sigfilter.Filter
 	capS   uint32
 
+	//commvet:seqlock protects=txids,hash,modes
 	ver   []atomic.Uint64
 	txids []atomic.Uint64
 	hash  []atomic.Uint64

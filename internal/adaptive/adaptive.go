@@ -208,7 +208,9 @@ func Run(ladder []Rung, ops []workload.SetOp, epochSize, window, start int) (*Tr
 			cur = ladder[next].Make(cur.Snapshot())
 			trace.Switches++
 			tele.Check(uint16(rung), uint16(next))
-			telemetry.EmitDecision(tele.ID(), int64(epoch), uint16(rung), uint16(next))
+			if telemetry.TraceEnabled() {
+				telemetry.EmitDecision(tele.ID(), int64(epoch), uint16(rung), uint16(next))
+			}
 		}
 		epoch++
 	}

@@ -85,7 +85,9 @@ func (g *GK) Telemetry() *telemetry.Detector { return g.tele }
 // method pair and emits a trace event when tracing is on.
 func (g *GK) conflict(tx *engine.Tx, held, incoming uint16) {
 	g.tele.Conflict(held, incoming)
-	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), held, incoming)
+	if telemetry.TraceEnabled() {
+		telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), held, incoming)
+	}
 }
 
 // othersLive reports whether any transaction other than tx has journaled

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField flags struct fields that are accessed through the
+// sync/atomic functions somewhere and through plain loads or stores
+// somewhere else in the same package. Mixed access is a latent data
+// race: the plain access is invisible to the atomic one, and the race
+// detector only catches it when a stress test happens to interleave the
+// two. (Fields of the method-based types atomic.Uint64 & co. are immune
+// by construction and are not in scope; this analyzer guards the
+// pointer-passing style, atomic.LoadUint64(&s.f).)
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	info := pass.Pkg.Info
+	atomicUse := map[*types.Var]token.Pos{} // field -> first atomic access
+	accounted := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: find fields whose address is taken for a sync/atomic call.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				inner := unparen(u.X)
+				if ix, ok := inner.(*ast.IndexExpr); ok {
+					inner = unparen(ix.X)
+				}
+				sel, ok := inner.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(info, sel); v != nil {
+					if _, seen := atomicUse[v]; !seen {
+						atomicUse[v] = sel.Pos()
+					}
+					accounted[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return
+	}
+
+	// Pass 2: every other selection of those fields is a plain access.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || accounted[sel] {
+				return true
+			}
+			v := fieldOf(info, sel)
+			if v == nil {
+				return true
+			}
+			if first, ok := atomicUse[v]; ok {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic (first at %s) but plainly here; mixed access is a data race",
+					v.Name(), pass.Pkg.Fset.Position(first))
+			}
+			return true
+		})
+	}
+}
+
+// isSyncAtomicCall reports whether call invokes a function of package
+// sync/atomic (the pointer-taking functions, not the method types).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

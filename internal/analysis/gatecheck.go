@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GateCheck enforces the telemetry double gate: every call site of an
+// observation function (//commvet:observation — ring emits, latency
+// records, flight-recorder appends) must be dominated by a check of an
+// enabled gate, so the disabled cost of instrumentation stays at the
+// gate's one or two atomic loads and the call's arguments are never even
+// evaluated on the fast path. Accepted dominators:
+//
+//   - an enclosing if whose condition calls a gate function
+//     (//commvet:gate) or compares something against zero with != —
+//     the `if t1 != 0 { StageRecord(...) }` timestamp idiom, where a
+//     zero timestamp proves the gate was off when it was taken;
+//   - an earlier guard-return in an enclosing block: `if start == 0 {
+//     return }` or `if !Enabled() { return }`.
+//
+// Calls made from inside another observation function are exempt — the
+// wrapper inherits the obligation outward to its own callers.
+// Benchmarks that measure the enabled path on purpose carry a
+// //commvet:ignore with the reason.
+var GateCheck = &Analyzer{
+	Name: "gatecheck",
+	Doc:  "telemetry observation calls must be dominated by an enabled-gate check",
+	Run:  runGateCheck,
+}
+
+func runGateCheck(pass *Pass) {
+	if len(pass.Facts.Observations) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || !pass.Facts.Observations[callee] {
+				return true
+			}
+			if enclosedByObservation(pass, stack) {
+				return true
+			}
+			if dominatedByGate(pass, call, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to observation %s is not dominated by an enabled-gate check; its arguments are evaluated even when telemetry is off",
+				callee.Name())
+			return true
+		})
+	}
+}
+
+// enclosedByObservation reports whether the call site lives inside a
+// function that is itself marked as an observation.
+func enclosedByObservation(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func); obj != nil && pass.Facts.Observations[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedByGate walks the ancestor chain looking for a gating
+// dominator of the call.
+func dominatedByGate(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IfStmt:
+			// Gating condition with the call inside the then-branch.
+			if parent.Body == child || containsNode(parent.Body, call) {
+				if gatingCond(pass, parent.Cond) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			// A guard-return earlier in this block.
+			for _, stmt := range parent.List {
+				if stmt.Pos() >= call.Pos() {
+					break
+				}
+				if guardReturn(pass, stmt) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't escape the enclosing function
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// gatingCond reports whether cond checks an enabled gate: it mentions a
+// call to a gate function, or compares against zero with != (the
+// timestamp idiom: a nonzero timestamp proves the gate was on).
+func gatingCond(pass *Pass, cond ast.Expr) bool {
+	gating := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Pkg.Info, x); fn != nil && pass.Facts.Gates[fn] {
+				gating = true
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.NEQ && (isZero(x.X) || isZero(x.Y)) {
+				gating = true
+			}
+		}
+		return true
+	})
+	return gating
+}
+
+// guardReturn reports whether stmt is `if <off-condition> { return/continue/break }`
+// with an off-condition of the form `x == 0`, `x == nil` or `!Gate()`.
+func guardReturn(pass *Pass, stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+	default:
+		return false
+	}
+	off := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL && (isZero(x.X) || isZero(x.Y) || isNil(x.X) || isNil(x.Y)) {
+				off = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.NOT {
+				if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+					if fn := calleeFunc(pass.Pkg.Info, call); fn != nil && pass.Facts.Gates[fn] {
+						off = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return off
+}
+
+func isZero(e ast.Expr) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// containsNode reports whether root's subtree contains target.
+func containsNode(root ast.Node, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Seqlock enforces the optimistic-concurrency discipline around version
+// words annotated `//commvet:seqlock protects=f1,f2,...`:
+//
+//   - readers: a function that loads the version word into a local and
+//     then reads protected fields must re-load the word and compare it
+//     against that local (directly, or by passing the local to a helper
+//     whose name says it revalidates: slotStable, recheck, ...);
+//     otherwise a concurrent writer can tear the protected data under
+//     the reader without detection.
+//   - writers: a function that mutates a protected field must advance
+//     the version word (Store/CompareAndSwap/Add on it) in the same
+//     function, so readers can observe the slot changed. Teardown
+//     helpers that deliberately leave the advance to their caller carry
+//     a function-scoped //commvet:ignore with the reason.
+//
+// The even/odd encoding of "write in progress" lives in the version
+// constants themselves; what rots under refactoring is the pairing —
+// loads without re-checks, writes without advances — and that is what
+// this analyzer pins.
+var Seqlock = &Analyzer{
+	Name: "seqlock",
+	Doc:  "seqlock readers must revalidate the version word; writers must advance it",
+	Run:  runSeqlock,
+}
+
+var revalidateName = regexp.MustCompile(`(?i)stable|revalid|recheck|validate`)
+
+func runSeqlock(pass *Pass) {
+	if len(pass.Facts.Seqlocks) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkSeqlockFunc(pass, fd)
+			}
+		}
+	}
+}
+
+type seqlockUse struct {
+	fact *SeqlockFact
+
+	verLoads   []token.Pos    // version .Load() sites
+	loadLocals []types.Object // locals holding a loaded version
+	verWrites  int            // Store/CompareAndSwap/Add on the version
+	revalid    bool           // re-load+compare (or revalidation helper) seen
+
+	protReads  map[*types.Var]token.Pos
+	protWrites map[*types.Var]token.Pos
+}
+
+func checkSeqlockFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	uses := map[*types.Var]*seqlockUse{} // keyed by version field
+
+	useFor := func(fact *SeqlockFact) *seqlockUse {
+		u := uses[fact.Version]
+		if u == nil {
+			u = &seqlockUse{
+				fact:       fact,
+				protReads:  map[*types.Var]token.Pos{},
+				protWrites: map[*types.Var]token.Pos{},
+			}
+			uses[fact.Version] = u
+		}
+		return u
+	}
+	factOfProtected := func(v *types.Var) *SeqlockFact {
+		for _, fact := range pass.Facts.Seqlocks {
+			if fact.Protected[v] {
+				return fact
+			}
+		}
+		return nil
+	}
+
+	// First sweep: method calls on version/protected fields, protected
+	// field selections, and assignments.
+	writtenSelectors := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				sel := selectorIn(lhs)
+				if sel == nil {
+					continue
+				}
+				v := fieldOf(info, sel)
+				if v == nil {
+					continue
+				}
+				if fact := factOfProtected(v); fact != nil {
+					// Assigning the field itself (c.txs = make(...))
+					// replaces the whole array: construction or
+					// reshaping outside the per-slot protocol, not a
+					// slot mutation a reader could revalidate against.
+					// Only element writes count for slice-typed fields.
+					if wholeSliceAssign(lhs, sel, v) {
+						writtenSelectors[sel] = true
+						continue
+					}
+					writtenSelectors[sel] = true
+					u := useFor(fact)
+					if _, ok := u.protWrites[v]; !ok {
+						u.protWrites[v] = lhs.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := fieldOf(info, sel.X)
+			if recv == nil {
+				return true
+			}
+			name := sel.Sel.Name
+			if fact, ok := pass.Facts.Seqlocks[recv]; ok {
+				u := useFor(fact)
+				switch name {
+				case "Load":
+					u.verLoads = append(u.verLoads, x.Pos())
+				case "Store", "CompareAndSwap", "Add", "Swap":
+					u.verWrites++
+				}
+			} else if fact := factOfProtected(recv); fact != nil {
+				// Atomic mutation of a protected atomic-typed field.
+				switch name {
+				case "Store", "CompareAndSwap", "Add", "Swap":
+					u := useFor(fact)
+					if _, ok := u.protWrites[recv]; !ok {
+						u.protWrites[recv] = x.Pos()
+					}
+					if inner, ok := sel.X.(*ast.IndexExpr); ok {
+						if s, ok := unparen(inner.X).(*ast.SelectorExpr); ok {
+							writtenSelectors[s] = true
+						}
+					} else if s, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+						writtenSelectors[s] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: remaining selections of protected fields are reads.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || writtenSelectors[sel] {
+			return true
+		}
+		v := fieldOf(info, sel)
+		if v == nil {
+			return true
+		}
+		if fact := factOfProtected(v); fact != nil {
+			u := useFor(fact)
+			if _, ok := u.protReads[v]; !ok {
+				u.protReads[v] = sel.Pos()
+			}
+		}
+		return true
+	})
+
+	// Third sweep: locals bound from version loads, then revalidation.
+	for _, u := range uses {
+		if len(u.verLoads) == 0 {
+			continue
+		}
+		collectVersionLocals(pass, fd, u)
+	}
+
+	for _, u := range uses {
+		reader := len(u.protReads) > 0 && len(u.verLoads) > 0 && u.verWrites == 0
+		if reader && !u.revalid {
+			pass.Reportf(u.verLoads[0],
+				"optimistic read of %s-protected fields (%s) never re-loads and compares the version word; a concurrent writer can tear the data unnoticed",
+				u.fact.Version.Name(), fieldNames(u.protReads))
+		}
+		if len(u.protWrites) > 0 && u.verWrites == 0 {
+			pass.Reportf(firstPos(u.protWrites),
+				"writes %s-protected fields (%s) without advancing the version word in this function; readers cannot detect the mutation",
+				u.fact.Version.Name(), fieldNames(u.protWrites))
+		}
+	}
+}
+
+// collectVersionLocals finds `v := field.Load()` bindings for u's version
+// word and then looks for a revalidation of any such local: a comparison
+// against a fresh .Load() of the same word, or the local passed to a
+// helper whose name matches the revalidation pattern.
+func collectVersionLocals(pass *Pass, fd *ast.FuncDecl, u *seqlockUse) {
+	info := pass.Pkg.Info
+	isVerLoad := func(e ast.Expr) bool {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return false
+		}
+		return fieldOf(info, sel.X) == u.fact.Version
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isVerLoad(rhs) {
+				continue
+			}
+			if obj := identObj(info, as.Lhs[i]); obj != nil {
+				u.loadLocals = append(u.loadLocals, obj)
+			}
+		}
+		return true
+	})
+	if len(u.loadLocals) == 0 {
+		// The load is used inline (e.g. directly in a comparison); treat
+		// an inline compare against anything as revalidation-by-shape.
+		ast.Inspect(fd, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if isVerLoad(b.X) || isVerLoad(b.Y) {
+				u.revalid = true
+			}
+			return true
+		})
+		return
+	}
+	mentionsLocal := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			o := info.Uses[id]
+			for _, l := range u.loadLocals {
+				if o == l {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return true
+			}
+			if (isVerLoad(x.X) && mentionsLocal(x.Y)) || (isVerLoad(x.Y) && mentionsLocal(x.X)) {
+				u.revalid = true
+			}
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if !revalidateName.MatchString(name) {
+				return true
+			}
+			for _, arg := range x.Args {
+				if mentionsLocal(arg) {
+					u.revalid = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// wholeSliceAssign reports whether lhs assigns the slice- or array-typed
+// field v itself (not an element of it): the target, unparenthesized, is
+// the bare selector.
+func wholeSliceAssign(lhs ast.Expr, sel *ast.SelectorExpr, v *types.Var) bool {
+	if unparen(lhs) != ast.Expr(sel) {
+		return false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// selectorIn digs the field selector out of an assignment target,
+// stripping index and star expressions: c.txs[i], *p.f, x.f.
+func selectorIn(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func fieldNames(m map[*types.Var]token.Pos) string {
+	var names []string
+	for v := range m {
+		names = append(names, v.Name())
+	}
+	// Deterministic order for diagnostics.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+func firstPos(m map[*types.Var]token.Pos) token.Pos {
+	first := token.Pos(0)
+	for _, p := range m {
+		if first == 0 || p < first {
+			first = p
+		}
+	}
+	return first
+}

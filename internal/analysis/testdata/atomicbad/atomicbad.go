@@ -1,0 +1,20 @@
+// Bad fixture: hits is written through sync/atomic but read plain, so
+// the read can race with (and tear under) the atomic writers.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+func (c *counter) Hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) Report() uint64 {
+	return c.hits // plain read of an atomically-written field
+}
+
+func (c *counter) Name() string { return c.name }

@@ -1,0 +1,11 @@
+// Good fixture: every access to hits goes through sync/atomic.
+package atomicgood
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+}
+
+func (c *counter) Hit()           { atomic.AddUint64(&c.hits, 1) }
+func (c *counter) Report() uint64 { return atomic.LoadUint64(&c.hits) }

@@ -1,0 +1,28 @@
+// Bad fixture: the telemetry double-gate distilled. Emit self-gates on
+// the atomic flag, but its call site does not, so every caller pays the
+// call and its argument evaluation even with telemetry off.
+package gatebad
+
+import "sync/atomic"
+
+var on atomic.Bool
+
+// Enabled reports whether emission is on.
+//
+//commvet:gate
+func Enabled() bool { return on.Load() }
+
+// Emit records one event when enabled.
+//
+//commvet:observation
+func Emit(kind uint8, tx uint64) {
+	if !on.Load() {
+		return
+	}
+	_ = kind
+	_ = tx
+}
+
+func commit(tx uint64) {
+	Emit(1, tx) // ungated call site
+}

@@ -1,0 +1,45 @@
+// Good fixture: every observation call site is dominated by a gate —
+// an enclosing if on the gate, an early guard return, or an enclosing
+// function that is itself an observation (wrapper exemption).
+package gategood
+
+import "sync/atomic"
+
+var on atomic.Bool
+
+// Enabled reports whether emission is on.
+//
+//commvet:gate
+func Enabled() bool { return on.Load() }
+
+// Emit records one event when enabled.
+//
+//commvet:observation
+func Emit(kind uint8, tx uint64) {
+	if !on.Load() {
+		return
+	}
+	_ = kind
+	_ = tx
+}
+
+func commit(tx uint64) {
+	if Enabled() {
+		Emit(1, tx)
+	}
+}
+
+func abort(tx uint64) {
+	if !Enabled() {
+		return
+	}
+	Emit(2, tx)
+}
+
+// EmitPair is an observation wrapper: calls inside it are exempt.
+//
+//commvet:observation
+func EmitPair(tx uint64) {
+	Emit(3, tx)
+	Emit(4, tx)
+}

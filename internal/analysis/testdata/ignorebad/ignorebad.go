@@ -1,0 +1,17 @@
+// Bad fixture: a bare //commvet:ignore. It suppresses the underlying
+// atomicfield finding but is itself reported — suppressions must say
+// why the invariant holds anyway.
+package ignorebad
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+}
+
+func (c *counter) Hit() { atomic.AddUint64(&c.hits, 1) }
+
+//commvet:ignore
+func (c *counter) Report() uint64 {
+	return c.hits
+}

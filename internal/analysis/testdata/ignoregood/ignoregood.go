@@ -1,0 +1,16 @@
+// Good fixture: a reasoned //commvet:ignore suppresses the finding and
+// is not itself reported.
+package ignoregood
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+}
+
+func (c *counter) Hit() { atomic.AddUint64(&c.hits, 1) }
+
+//commvet:ignore Report runs after the writer goroutines are joined, so the plain read cannot race
+func (c *counter) Report() uint64 {
+	return c.hits
+}

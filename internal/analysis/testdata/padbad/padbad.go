@@ -1,0 +1,13 @@
+// Bad fixture: the trailing pad documents cache-line isolation, but the
+// struct is smaller than one 64-byte line, so array neighbours still
+// false-share.
+package padbad
+
+type shard struct {
+	count uint64
+	_     [16]byte
+}
+
+var shards [8]shard
+
+func bump(i int) { shards[i].count++ }

@@ -1,0 +1,11 @@
+// Good fixture: the pad brings the struct to a full cache line.
+package padgood
+
+type shard struct {
+	count uint64
+	_     [56]byte
+}
+
+var shards [8]shard
+
+func bump(i int) { shards[i].count++ }

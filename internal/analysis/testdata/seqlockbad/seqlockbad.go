@@ -1,0 +1,41 @@
+// Bad fixture: the cascade's slot-of-arrays layout distilled. The
+// reader loads a slot's version word and then reads protected columns
+// without ever re-loading and comparing it; the writer mutates a slot
+// without advancing the version. Both break the optimistic protocol.
+package seqlockbad
+
+import "sync/atomic"
+
+type table struct {
+	//commvet:seqlock protects=txids,vals
+	ver   []atomic.Uint64
+	txids []atomic.Uint64
+	vals  []string
+}
+
+// grow replaces the whole arrays: construction, not slot mutation, and
+// must not be reported.
+func (t *table) grow(n int) {
+	t.ver = make([]atomic.Uint64, n)
+	t.txids = make([]atomic.Uint64, n)
+	t.vals = make([]string, n)
+}
+
+func (t *table) scan(h uint64) (string, bool) {
+	for i := range t.ver {
+		v := t.ver[i].Load()
+		if v&1 != 0 {
+			continue
+		}
+		if t.txids[i].Load() == h {
+			return t.vals[i], true // never revalidates v
+		}
+	}
+	return "", false
+}
+
+func (t *table) publish(i int, tx uint64, s string) {
+	t.txids[i].Store(tx)
+	t.vals[i] = s
+	// missing: a version-word advance readers could observe
+}

@@ -1,0 +1,40 @@
+// Good fixture: the reader revalidates through a helper whose name says
+// so, and the writer brackets its mutations with version advances.
+package seqlockgood
+
+import "sync/atomic"
+
+type table struct {
+	//commvet:seqlock protects=txids,vals
+	ver   []atomic.Uint64
+	txids []atomic.Uint64
+	vals  []string
+}
+
+func (t *table) slotStable(i int, v uint64) bool {
+	return t.ver[i].Load() == v
+}
+
+func (t *table) scan(h uint64) (string, bool) {
+	for i := range t.ver {
+		v := t.ver[i].Load()
+		if v&1 != 0 {
+			continue
+		}
+		if t.txids[i].Load() == h {
+			s := t.vals[i]
+			if t.slotStable(i, v) {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (t *table) publish(i int, tx uint64, s string) {
+	v := t.ver[i].Load()
+	t.ver[i].Store(v + 1) // odd: write in progress
+	t.txids[i].Store(tx)
+	t.vals[i] = s
+	t.ver[i].Store(v + 2) // even: published
+}

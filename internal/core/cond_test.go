@@ -31,7 +31,16 @@ func randCond(r *rand.Rand, depth int) Cond {
 	case 2:
 		return Or(randCond(r, depth-1), randCond(r, depth-1))
 	case 3:
-		return Lt(t(), t())
+		switch r.Intn(4) {
+		case 0:
+			return Lt(t(), t())
+		case 1:
+			return Gt(t(), t())
+		case 2:
+			return Le(t(), t())
+		default:
+			return Ge(t(), t())
+		}
 	default:
 		return randCond(r, 0)
 	}

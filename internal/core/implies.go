@@ -14,6 +14,11 @@ package core
 //     deriving figure 3 from figure 2)
 //   - key(x) ≠ key(y) ⇒ x ≠ y for any function key (lock coarsening,
 //     §4.2: equal elements have equal keys)
+//   - ordering weakening between comparison leaves over the same
+//     operands: x < y ⇒ x ≤ y, x < y ⇒ x ≠ y, x = y ⇒ x ≤ y (and the
+//     flipped >/≥ spellings, which normalize onto these)
+//   - equality congruence x = y ⇒ f(x) = f(y), the direct form of the
+//     keyed refinement above
 //
 // A false result means "not proved", never "disproved"; tests back the
 // prover with exhaustive finite-domain evaluation.
@@ -52,15 +57,95 @@ func implies(a, b Cond) bool {
 			return true
 		}
 	}
-	// Keyed disequality refinement: key(x) ≠ key(y) ⇒ x ≠ y.
+	// Leaf-to-leaf comparison rules.
 	if ac, ok := a.(CmpCond); ok {
-		if bc, ok := b.(CmpCond); ok && ac.Op == CmpNe && bc.Op == CmpNe {
-			if keyedRefines(ac, bc) {
+		if bc, ok := b.(CmpCond); ok {
+			if cmpImplies(ac, bc) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// cmpImplies proves implications between two comparison leaves:
+//
+//   - ordering weakening on identical operands: x < y ⇒ x ≤ y, x < y ⇒
+//     x ≠ y, x = y ⇒ x ≤ y and x ≥ y (>/≥ normalize onto </≤ first, so
+//     the flipped spellings are covered)
+//   - equality congruence: x = y ⇒ f(x) = f(y) for a single-argument
+//     function applied against the same state on both sides — the direct
+//     form of the keyed refinement below, resting on the same assumption
+//     (state functions are well-defined up to ValueEq)
+//   - keyed disequality refinement: key(x) ≠ key(y) ⇒ x ≠ y
+//
+// The ordering rules are sound under L1's IEEE evaluation: < and = are
+// false on unordered (NaN) operands, so a true antecedent pins both
+// operands to ordered values and the weakened comparison follows. They
+// assume the formula is well-typed (L1 defines < and ≤ only on
+// arithmetic terms; on ill-typed operands both sides error out of Eval
+// together).
+func cmpImplies(a, b CmpCond) bool {
+	a, b = canonCmp(a), canonCmp(b)
+	al, ar := termKey(a.L), termKey(a.R)
+	bl, br := termKey(b.L), termKey(b.R)
+	same := al == bl && ar == br
+	mirror := al == br && ar == bl
+	switch {
+	case a.Op == CmpLt && b.Op == CmpLe && same:
+		return true // x < y ⇒ x ≤ y
+	case a.Op == CmpLt && b.Op == CmpNe && (same || mirror):
+		return true // x < y ⇒ x ≠ y
+	case a.Op == CmpEq && b.Op == CmpLe && (same || mirror):
+		return true // x = y ⇒ x ≤ y and y ≤ x
+	case a.Op == CmpEq && b.Op == CmpEq && congruent(a, b):
+		return true // x = y ⇒ f(x) = f(y)
+	case a.Op == CmpNe && b.Op == CmpNe && keyedRefines(a, b):
+		return true // key(x) ≠ key(y) ⇒ x ≠ y
+	}
+	return false
+}
+
+// canonCmp normalizes a comparison the way condKey does: > and ≥ flip
+// into < and ≤, and the symmetric operators = and ≠ order their operands
+// by term key.
+func canonCmp(c CmpCond) CmpCond {
+	switch c.Op {
+	case CmpGt:
+		return CmpCond{Op: CmpLt, L: c.R, R: c.L}
+	case CmpGe:
+		return CmpCond{Op: CmpLe, L: c.R, R: c.L}
+	case CmpEq, CmpNe:
+		if termKey(c.L) > termKey(c.R) {
+			return CmpCond{Op: c.Op, L: c.R, R: c.L}
+		}
+	}
+	return c
+}
+
+// congruent reports whether b is a with both operands wrapped in the
+// same single-argument function evaluated against the same state side
+// (in either operand order).
+func congruent(a, b CmpCond) bool {
+	lf, lok := b.L.(FnTerm)
+	rf, rok := b.R.(FnTerm)
+	if !lok || !rok || lf.Fn != rf.Fn || lf.State != rf.State ||
+		len(lf.Args) != 1 || len(rf.Args) != 1 {
+		return false
+	}
+	x, y := termKey(lf.Args[0]), termKey(rf.Args[0])
+	al, ar := termKey(a.L), termKey(a.R)
+	return (x == al && y == ar) || (x == ar && y == al)
+}
+
+// Equivalent reports whether the prover can show a and b logically
+// equivalent (implication both ways). Like Implies it is sound but
+// incomplete: a false result means "not proved equivalent", never
+// "proved different". specvet uses it to check that explicitly stored
+// mirror conditions really are the side-swap of each other.
+func Equivalent(a, b Cond) bool {
+	as, bs := Simplify(a), Simplify(b)
+	return implies(as, bs) && implies(bs, as)
 }
 
 // keyedRefines reports whether a is b with both operands wrapped in the

@@ -47,6 +47,107 @@ func TestImpliesKeyedRefinement(t *testing.T) {
 	}
 }
 
+func TestImpliesOrderingWeakening(t *testing.T) {
+	a, b := Arg1(0), Arg2(0)
+	cases := []struct {
+		p, q Cond
+		want bool
+	}{
+		{Lt(a, b), Le(a, b), true},  // x < y ⇒ x ≤ y
+		{Lt(a, b), Ne(a, b), true},  // x < y ⇒ x ≠ y
+		{Lt(a, b), Ne(b, a), true},  // ... and ≠ is symmetric
+		{Gt(b, a), Le(a, b), true},  // flipped spelling of x < y
+		{Eq(a, b), Le(a, b), true},  // x = y ⇒ x ≤ y
+		{Eq(a, b), Ge(a, b), true},  // x = y ⇒ x ≥ y
+		{Eq(b, a), Le(a, b), true},  // = is symmetric
+		{Le(a, b), Lt(a, b), false}, // weakening only runs downhill
+		{Ne(a, b), Lt(a, b), false},
+		{Lt(a, b), Le(b, a), false}, // wrong direction
+		{Lt(a, b), Eq(a, b), false},
+		{Le(a, b), Ge(b, a), true}, // same comparison, flipped spelling
+	}
+	for _, c := range cases {
+		if got := Implies(c.p, c.q); got != c.want {
+			t.Errorf("Implies(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestImpliesEqualityCongruence(t *testing.T) {
+	eq := Eq(Arg1(0), Arg2(0))
+	keyed := Eq(Fn1("part", Arg1(0)), Fn1("part", Arg2(0)))
+	if !Implies(eq, keyed) {
+		t.Error("a = b should imply part(a) = part(b)")
+	}
+	if Implies(keyed, eq) {
+		t.Error("part(a) = part(b) must not imply a = b")
+	}
+	// Same function against different states must not be congruent: rep@s1
+	// and rep@s2 may disagree even on equal inputs.
+	crossState := Eq(Fn1("rep", Arg1(0)), Fn2("rep", Arg2(0)))
+	if Implies(eq, crossState) {
+		t.Error("congruence must require the same state side")
+	}
+	// Different functions must not be congruent.
+	mixed := Eq(Fn1("p", Arg1(0)), Fn1("q", Arg2(0)))
+	if Implies(eq, mixed) {
+		t.Error("congruence must require the same function")
+	}
+	// Congruence composes with the keyed refinement through Equivalent's
+	// bidirectional check failing (one-way only).
+	if Equivalent(eq, keyed) {
+		t.Error("one-way implication must not be reported as equivalence")
+	}
+}
+
+// TestCongruenceSoundUnderEval backs the congruence rule with evaluation
+// against an actual state function that respects ValueEq.
+func TestCongruenceSoundUnderEval(t *testing.T) {
+	part := func(fn string, args []Value) (Value, error) {
+		if fn != "part" || len(args) != 1 {
+			return Value{}, nil
+		}
+		n, _ := args[0].AsInt()
+		return VInt(n % 2), nil
+	}
+	eq := Eq(Arg1(0), Arg2(0))
+	keyed := Eq(Fn1("part", Arg1(0)), Fn1("part", Arg2(0)))
+	if !Implies(eq, keyed) {
+		t.Fatal("congruence not proved")
+	}
+	for v1 := int64(0); v1 < 4; v1++ {
+		for v2 := int64(0); v2 < 4; v2++ {
+			env := &PairEnv{
+				Inv1: Invocation{Args: Args1(VInt(v1))},
+				Inv2: Invocation{Args: Args1(VInt(v2))},
+				S1:   part,
+			}
+			av, err1 := Eval(eq, env)
+			bv, err2 := Eval(keyed, env)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval error: %v/%v", err1, err2)
+			}
+			if av && !bv {
+				t.Fatalf("unsound congruence at v1=%d v2=%d", v1, v2)
+			}
+		}
+	}
+}
+
+func TestEquivalentSwapSymmetry(t *testing.T) {
+	// kv's put~get condition is stored in both orientations in
+	// examples/specs; the two spellings must be provably swap-equivalent.
+	c12 := Ne(Arg1(0), Arg2(0))
+	c21 := Ne(Arg2(0), Arg1(0))
+	if !Equivalent(SwapSides(c12), c21) {
+		t.Error("swap of a symmetric disequality should be equivalent to its mirror")
+	}
+	directed := Lt(Arg1(0), Arg2(0))
+	if Equivalent(SwapSides(directed), directed) {
+		t.Error("a directed ordering is not swap-symmetric")
+	}
+}
+
 // TestImpliesSoundOnRandomConds backs the syntactic prover with exhaustive
 // evaluation: whenever Implies says yes, no environment may satisfy a but
 // not b.

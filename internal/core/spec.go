@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -50,6 +51,13 @@ type Spec struct {
 	Sig   *ADTSig
 	Pure  map[string]bool // state-independent helper functions (dist, part, ...)
 	conds map[pairKey]Cond
+	// oriented marks unordered pairs whose stored condition is
+	// intentionally orientation-sensitive in form: either a genuinely
+	// directed override (kd-tree remove~nearest) or a self-pair whose
+	// helpers are conventionally evaluated in one state (union-find's
+	// union~union). specvet requires the declaration before accepting a
+	// stored condition that is not provably symmetric under SwapSides.
+	oriented map[pairKey]bool
 }
 
 // NewSpec creates an empty (all-false) specification over sig.
@@ -84,6 +92,75 @@ func (s *Spec) Set(m1, m2 string, c Cond) *Spec {
 	s.mustHave(m2)
 	s.conds[pairKey{m1, m2}] = Simplify(c)
 	return s
+}
+
+// SetOriented declares the unordered pair {m1, m2} orientation-sensitive:
+// its stored condition is not expected to be symmetric under SwapSides.
+// The declaration is what lets specvet distinguish a deliberate directed
+// override from an author who forgot footnote 5 and wrote a one-sided
+// formula.
+func (s *Spec) SetOriented(m1, m2 string) *Spec {
+	s.mustHave(m1)
+	s.mustHave(m2)
+	if s.oriented == nil {
+		s.oriented = map[pairKey]bool{}
+	}
+	s.oriented[orientKey(m1, m2)] = true
+	return s
+}
+
+// IsOriented reports whether {m1, m2} was declared orientation-sensitive.
+func (s *Spec) IsOriented(m1, m2 string) bool {
+	return s.oriented[orientKey(m1, m2)]
+}
+
+// OrientedPairs returns the declared orientation-sensitive pairs in
+// canonical (lexicographic) order.
+func (s *Spec) OrientedPairs() [][2]string {
+	out := make([][2]string, 0, len(s.oriented))
+	for k := range s.oriented {
+		out = append(out, [2]string{k.m1, k.m2})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// orientKey canonicalizes an unordered pair for the oriented set.
+func orientKey(m1, m2 string) pairKey {
+	if m2 < m1 {
+		m1, m2 = m2, m1
+	}
+	return pairKey{m1, m2}
+}
+
+// StoredPairs returns the ordered pairs that have an explicitly stored
+// condition (no swap-derivation, no false default), in canonical order.
+// Static spec verification iterates exactly these: they are the formulas
+// an author actually wrote.
+func (s *Spec) StoredPairs() [][2]string {
+	out := make([][2]string, 0, len(s.conds))
+	for k := range s.conds {
+		out = append(out, [2]string{k.m1, k.m2})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// StoredCond returns the explicitly stored condition for the ordered
+// pair (m1, m2), with no swap-derived or default fallback.
+func (s *Spec) StoredCond(m1, m2 string) (Cond, bool) {
+	c, ok := s.conds[pairKey{m1, m2}]
+	return c, ok
 }
 
 func (s *Spec) mustHave(m string) {
@@ -152,6 +229,12 @@ func (s *Spec) Clone() *Spec {
 	}
 	for k, v := range s.conds {
 		out.conds[k] = v
+	}
+	for k := range s.oriented {
+		if out.oriented == nil {
+			out.oriented = map[pairKey]bool{}
+		}
+		out.oriented[k] = true
 	}
 	return out
 }

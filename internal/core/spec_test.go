@@ -267,3 +267,50 @@ func TestOrAbsorption(t *testing.T) {
 		t.Errorf("Or absorption (reversed): %s", got)
 	}
 }
+
+func TestSpecOrientedAndStoredAccessors(t *testing.T) {
+	sig := &ADTSig{Name: "uf", Methods: []MethodSig{
+		{Name: "union", Params: []string{"a", "b"}},
+		{Name: "find", Params: []string{"a"}, HasRet: true},
+	}}
+	s := NewSpec(sig)
+	s.Set("union", "find", Ne(Arg2(0), Arg1(0)))
+	s.Set("find", "find", True())
+	if s.IsOriented("union", "union") {
+		t.Error("pair oriented before declaration")
+	}
+	s.SetOriented("union", "union")
+	if !s.IsOriented("union", "union") {
+		t.Error("self pair not oriented after declaration")
+	}
+	// The declaration is unordered: either argument order hits it.
+	s.SetOriented("find", "union")
+	if !s.IsOriented("union", "find") || !s.IsOriented("find", "union") {
+		t.Error("oriented declaration must be orientation-insensitive itself")
+	}
+	got := s.OrientedPairs()
+	want := [][2]string{{"find", "union"}, {"union", "union"}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("OrientedPairs() = %v, want %v", got, want)
+	}
+
+	stored := s.StoredPairs()
+	if len(stored) != 2 || stored[0] != [2]string{"find", "find"} || stored[1] != [2]string{"union", "find"} {
+		t.Errorf("StoredPairs() = %v", stored)
+	}
+	if _, ok := s.StoredCond("find", "union"); ok {
+		t.Error("StoredCond must not fall back to swap-derivation")
+	}
+	if c, ok := s.StoredCond("union", "find"); !ok || condKey(c) != condKey(Ne(Arg1(0), Arg2(0))) {
+		t.Errorf("StoredCond(union, find) = %v, %v", c, ok)
+	}
+
+	clone := s.Clone()
+	if !clone.IsOriented("union", "union") || !clone.IsOriented("find", "union") {
+		t.Error("Clone must carry oriented declarations")
+	}
+	clone.SetOriented("find", "find")
+	if s.IsOriented("find", "find") {
+		t.Error("Clone must not share the oriented set")
+	}
+}

@@ -130,6 +130,7 @@ func PutTx(tx *Tx) {
 	if tx.status == Active {
 		panic("engine: PutTx on an active transaction")
 	}
+	//commvet:ignore Commit/Abort drain and nil out every hook slice entry before the transaction can get here (Active is rejected above); the slices keep capacity by design
 	txPool.Put(tx)
 }
 

@@ -320,8 +320,9 @@ type Cascade struct {
 	// pointer, undo) are only touched with the slot claimed or pinned,
 	// with the version word carrying the happens-before edges.
 	capSlots uint32
-	ver      []atomic.Uint64
-	txids    []atomic.Uint64
+	//commvet:seqlock protects=txids,metas,hashes,txs,argvs,rets
+	ver   []atomic.Uint64
+	txids []atomic.Uint64
 	metas    []atomic.Uint32 // method id (low 16 bits) | key count (high 16)
 	hashes   []atomic.Uint64 // capSlots × maxKeys, slot-major
 	nextKey  []atomic.Uint32 // capSlots × maxKeys: per-key bucket links
@@ -1104,7 +1105,9 @@ func (c *Cascade) runCheck(tx *engine.Tx, plan *cascadePlan, inv1, inv2 core.Inv
 
 func (c *Cascade) conflict(tx *engine.Tx, plan *cascadePlan, inv1, inv2 core.Invocation, holder uint64) error {
 	c.tele.Conflict(plan.m1, plan.m2)
-	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), c.tele.ID(), plan.m1, plan.m2)
+	if telemetry.TraceEnabled() {
+		telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), c.tele.ID(), plan.m1, plan.m2)
+	}
 	return engine.Conflict("cascade: %s%v does not commute with active %s%v of tx %d",
 		inv2.Method, inv2.Args, inv1.Method, inv1.Args, holder)
 }
@@ -1362,6 +1365,8 @@ func (c *Cascade) releaseSlotCore(s uint32) {
 // and excludes concurrent pinners (slot pin or group pin, by mode); the
 // version or group word advance that makes the teardown visible is the
 // caller's.
+//
+//commvet:ignore the version advance that publishes this teardown is deliberately the caller's (retireSlot / group retirement)
 func (c *Cascade) teardownSlot(s uint32, mv uint32) {
 	K := c.maxKeys
 	base := int(s) * K

@@ -691,7 +691,9 @@ func (g *General) ActiveInvocations() int {
 // and emits a trace event on the invoking transaction's worker track.
 func (g *General) conflict(tx *engine.Tx, plan *genPlan) {
 	g.tele.Conflict(plan.m1id, plan.m2id)
-	telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), plan.m1id, plan.m2id)
+	if telemetry.TraceEnabled() {
+		telemetry.EmitConflict(tx.Worker(), tx.ID(), tx.Item(), g.tele.ID(), plan.m1id, plan.m2id)
+	}
 }
 
 // Stats returns a snapshot of the gatekeeper's work counters, assembled

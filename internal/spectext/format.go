@@ -29,6 +29,9 @@ func Format(spec *core.Spec) string {
 		sort.Strings(fns)
 		fmt.Fprintf(&b, "pure %s\n", strings.Join(fns, ", "))
 	}
+	for _, p := range spec.OrientedPairs() {
+		fmt.Fprintf(&b, "oriented %s ~ %s\n", p[0], p[1])
+	}
 	b.WriteByte('\n')
 	for _, p := range spec.Pairs() {
 		m1, m2 := p[0], p[1]

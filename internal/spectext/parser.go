@@ -9,8 +9,12 @@ import (
 )
 
 // Parse reads a complete specification file: an `adt` declaration,
-// `method` declarations, optional `pure` declarations, and one condition
-// line per (ordered) method pair.
+// `method` declarations, optional `pure` declarations, optional
+// `oriented m1 ~ m2` declarations (marking a pair whose condition is
+// intentionally orientation-sensitive, see Spec.SetOriented), and one
+// condition line per (ordered) method pair. A second condition line for
+// the same ordered pair is an error — silent last-write-wins made a
+// stale edit win over the line the author thought was in force.
 func Parse(src string) (*core.Spec, error) {
 	var sig *core.ADTSig
 	var pure []string
@@ -20,6 +24,11 @@ func Parse(src string) (*core.Spec, error) {
 		line   int
 	}
 	var pairs []pairLine
+	type orientLine struct {
+		m1, m2 string
+		line   int
+	}
+	var orients []orientLine
 
 	for lineno, raw := range strings.Split(src, "\n") {
 		toks, err := lexLine(raw, lineno+1)
@@ -48,6 +57,12 @@ func Parse(src string) (*core.Spec, error) {
 				return nil, err
 			}
 			sig.Methods = append(sig.Methods, ms)
+		case head.kind == tokIdent && head.text == "oriented":
+			if len(toks) < 5 || toks[1].kind != tokIdent || toks[2].text != "~" ||
+				toks[3].kind != tokIdent || toks[4].kind != tokEOF {
+				return nil, fmt.Errorf("line %d: usage: oriented <m1> ~ <m2>", lineno+1)
+			}
+			orients = append(orients, orientLine{m1: toks[1].text, m2: toks[3].text, line: lineno + 1})
 		case head.kind == tokIdent && head.text == "pure":
 			for _, tk := range toks[1:] {
 				if tk.kind == tokIdent {
@@ -70,6 +85,7 @@ func Parse(src string) (*core.Spec, error) {
 	}
 	spec := core.NewSpec(sig)
 	spec.DeclarePure(pure...)
+	firstAt := map[[2]string]int{}
 	for _, pl := range pairs {
 		if _, ok := sig.Method(pl.m1); !ok {
 			return nil, fmt.Errorf("line %d: unknown method %q", pl.line, pl.m1)
@@ -77,6 +93,10 @@ func Parse(src string) (*core.Spec, error) {
 		if _, ok := sig.Method(pl.m2); !ok {
 			return nil, fmt.Errorf("line %d: unknown method %q", pl.line, pl.m2)
 		}
+		if first, dup := firstAt[[2]string{pl.m1, pl.m2}]; dup {
+			return nil, fmt.Errorf("line %d: duplicate condition for %s ~ %s (first defined at line %d)", pl.line, pl.m1, pl.m2, first)
+		}
+		firstAt[[2]string{pl.m1, pl.m2}] = pl.line
 		p := &parser{toks: pl.toks, line: pl.line, sig: sig, m1: pl.m1, m2: pl.m2}
 		expr, err := p.parseExpr(0)
 		if err != nil {
@@ -90,6 +110,15 @@ func Parse(src string) (*core.Spec, error) {
 			return nil, fmt.Errorf("line %d: %v", pl.line, err)
 		}
 		spec.Set(pl.m1, pl.m2, cond)
+	}
+	for _, o := range orients {
+		if _, ok := sig.Method(o.m1); !ok {
+			return nil, fmt.Errorf("line %d: unknown method %q", o.line, o.m1)
+		}
+		if _, ok := sig.Method(o.m2); !ok {
+			return nil, fmt.Errorf("line %d: unknown method %q", o.line, o.m2)
+		}
+		spec.SetOriented(o.m1, o.m2)
 	}
 	return spec, nil
 }

@@ -269,3 +269,86 @@ func TestFuzzRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestDuplicatePairRejected(t *testing.T) {
+	src := `adt a
+method m(x)
+method n(x)
+
+m ~ n: true
+n ~ n: true
+m ~ n: false
+`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected duplicate-pair error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 7") || !strings.Contains(msg, "duplicate condition for m ~ n") ||
+		!strings.Contains(msg, "first defined at line 5") {
+		t.Errorf("duplicate error should carry both positions, got: %v", err)
+	}
+
+	// The mirror-direction pair is a distinct ordered pair, not a
+	// duplicate: a directed override stores both directions.
+	ok := `adt a
+method m(x)
+method n(x)
+
+m ~ n: v1.x < v2.x
+n ~ m: v2.x < v1.x
+n ~ n: true
+m ~ m: true
+`
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("directed override misread as duplicate: %v", err)
+	}
+}
+
+func TestOrientedRoundTrip(t *testing.T) {
+	src := `adt uf
+method union(a, b)
+method find(a) ret
+
+oriented union ~ union
+
+union ~ union: rep@s1(v2.a) != v1.a
+union ~ find:  true
+find ~ find:   true
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !spec.IsOriented("union", "union") {
+		t.Fatal("oriented declaration not recorded")
+	}
+	if spec.IsOriented("union", "find") {
+		t.Fatal("orientation leaked to an undeclared pair")
+	}
+
+	text := Format(spec)
+	if !strings.Contains(text, "oriented union ~ union") {
+		t.Fatalf("Format dropped the oriented line:\n%s", text)
+	}
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !again.IsOriented("union", "union") {
+		t.Fatal("orientation lost in round trip")
+	}
+}
+
+func TestOrientedErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown method": "adt a\nmethod m(x)\noriented m ~ q\nm ~ m: true",
+		"bad usage":      "adt a\nmethod m(x)\noriented m m\nm ~ m: true",
+		"missing rhs":    "adt a\nmethod m(x)\noriented m ~\nm ~ m: true",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}

@@ -152,6 +152,8 @@ func DisableFlight() {
 // FlightEnabled reports whether the flight recorder is on. Hot paths
 // gate record construction on it, so the disabled cost is this one
 // atomic load.
+//
+//commvet:gate
 func FlightEnabled() bool { return fr.enabled.Load() }
 
 // AdvanceFlightEpoch bumps the reclamation epoch — called by the engine
@@ -169,6 +171,8 @@ func FlightEpoch() uint64 { return fr.epoch.Load() }
 // appends it to the worker's ring, overwriting the oldest slot when
 // full (wholesale reclamation — no per-record release). Callers gate on
 // FlightEnabled before building the record.
+//
+//commvet:observation
 func RecordFlight(worker int, rec *FlightRecord) {
 	if !fr.enabled.Load() {
 		return

@@ -111,6 +111,8 @@ func EnableLatency() {
 func DisableLatency() { lr.enabled.Store(false) }
 
 // LatencyEnabled reports whether stage-latency recording is on.
+//
+//commvet:gate
 func LatencyEnabled() bool { return lr.enabled.Load() }
 
 // LatClock returns a start mark for stage timing: 0 when recording is
@@ -133,6 +135,11 @@ func LatClock() int64 {
 //	t = telemetry.StageObserve(w, telemetry.StageOptIndex, t)
 //
 // A 0 start (recording off at LatClock time) is a no-op returning 0.
+//
+// The start mark is the gate: unlike Emit or StageRecord, call sites
+// need no enabled-check of their own (the arguments are scalars already
+// in hand, and the chain collapses to compare-and-return when off), so
+// this is deliberately not a //commvet:observation.
 func StageObserve(worker int, st Stage, start int64) int64 {
 	if start == 0 {
 		return 0
@@ -144,6 +151,8 @@ func StageObserve(worker int, st Stage, start int64) int64 {
 
 // StageRecord adds one duration (nanoseconds) to a stage histogram
 // directly, for call sites that measured the interval themselves.
+//
+//commvet:observation
 func StageRecord(worker int, st Stage, d int64) {
 	if d < 0 {
 		d = 0

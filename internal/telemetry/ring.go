@@ -122,11 +122,15 @@ func DisableTrace() {
 }
 
 // TraceEnabled reports whether event tracing is on.
+//
+//commvet:gate
 func TraceEnabled() bool { return tr.enabled.Load() }
 
 // Emit records one event into the worker's ring. With tracing disabled
 // this is a single atomic load; enabled, it allocates nothing. The
 // transaction-ID sampling filter keeps a transaction's events together.
+//
+//commvet:observation
 func Emit(worker int, kind EventKind, tx uint64, item int64, det, m1, m2 uint16) {
 	if !tr.enabled.Load() {
 		return
@@ -148,11 +152,15 @@ func Emit(worker int, kind EventKind, tx uint64, item int64, det, m1, m2 uint16)
 }
 
 // EmitConflict records a detector conflict event.
+//
+//commvet:observation
 func EmitConflict(worker int, tx uint64, item int64, det, m1, m2 uint16) {
 	Emit(worker, EvConflict, tx, item, det, m1, m2)
 }
 
 // EmitDecision records an adaptive rung change (from, to).
+//
+//commvet:observation
 func EmitDecision(det uint16, epoch int64, from, to uint16) {
 	Emit(0, EvDecision, 0, epoch, det, from, to)
 }

@@ -306,13 +306,17 @@ func CountTxBegin() { Default.txBegun.Add(1) }
 // TxCommit counts a commit and, when tracing is on, emits its event.
 func TxCommit(worker int, tx uint64, item int64) {
 	Default.txCommitted.Add(1)
-	Emit(worker, EvCommit, tx, item, 0, 0, 0)
+	if TraceEnabled() {
+		Emit(worker, EvCommit, tx, item, 0, 0, 0)
+	}
 }
 
 // TxAbort counts an abort and, when tracing is on, emits its event.
 func TxAbort(worker int, tx uint64, item int64) {
 	Default.txAborted.Add(1)
-	Emit(worker, EvAbort, tx, item, 0, 0, 0)
+	if TraceEnabled() {
+		Emit(worker, EvAbort, tx, item, 0, 0, 0)
+	}
 }
 
 // CountTxBeginN counts n transaction starts with one atomic add — the

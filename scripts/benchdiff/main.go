@@ -37,7 +37,12 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op increase before failing")
 	floor := flag.Float64("floor", 25, "absolute ns/op increase always tolerated (noise floor)")
 	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh report (intentional rename/removal)")
+	commvetPath := flag.String("commvet", "", "commvet -json report; its analyzer-suite runtime is printed as an informational line (never gates)")
 	flag.Parse()
+
+	if *commvetPath != "" {
+		reportCommvetRuntime(*commvetPath)
+	}
 
 	var base, fresh bench.MicroReport
 	if err := readJSON(*basePath, &base); err != nil {
@@ -108,6 +113,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(seen), 100**tolerance)
+}
+
+// reportCommvetRuntime prints the static-analysis suite's wall-clock
+// time from a commvet -json report, so the bench job's log tracks how
+// long the vet stage costs alongside the benchmark rows. Informational
+// only: a missing or unreadable report is noted, never a failure.
+func reportCommvetRuntime(path string) {
+	var rep struct {
+		ElapsedNS int64 `json:"elapsed_ns"`
+		Packages  int   `json:"go_packages"`
+		SpecFiles int   `json:"spec_files"`
+	}
+	if err := readJSON(path, &rep); err != nil {
+		fmt.Printf("benchdiff: note: commvet report unavailable (%v)\n", err)
+		return
+	}
+	fmt.Printf("benchdiff: info: commvet analyzed %d packages + %d spec files in %.2fs\n",
+		rep.Packages, rep.SpecFiles, float64(rep.ElapsedNS)/1e9)
 }
 
 func readJSON(path string, v any) error {
